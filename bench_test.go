@@ -1,0 +1,231 @@
+// Package repro's root benchmarks regenerate every table and figure of
+// the paper's evaluation (go test -bench=.). Each benchmark runs the full
+// experiment once per iteration and reports the headline quantity as a
+// custom metric, so `go test -bench=. -benchmem` reproduces the entire
+// evaluation and prints the paper-vs-measured numbers.
+//
+// Mapping (see DESIGN.md §3 for the full index):
+//
+//	BenchmarkFigure1    — misprediction breakdown (Fig 1)
+//	BenchmarkFigure6    — MPKI reduction through PBS (Fig 6)
+//	BenchmarkFigure7    — normalized IPC, 4-wide core (Fig 7)
+//	BenchmarkFigure8    — normalized IPC, 8-wide core (Fig 8)
+//	BenchmarkFigure9    — predictor interference (Fig 9)
+//	BenchmarkTableII    — benchmark characteristics (Table II)
+//	BenchmarkTableIII   — randomness battery (Table III)
+//	BenchmarkAccuracy   — §VII-D output accuracy
+//	BenchmarkBaselines  — §IV PBS vs predication/CFD
+//	BenchmarkWorkload*  — per-benchmark simulation throughput, PBS on/off
+//	BenchmarkResolutionPenalty — ablation: honest dataflow penalty model
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// benchOptions uses fewer seeds than the default experiment so the whole
+// bench suite finishes in minutes; pbstables runs the full version.
+func benchOptions() experiments.Options {
+	opt := experiments.DefaultOptions()
+	opt.Seeds = opt.Seeds[:3]
+	return opt
+}
+
+func BenchmarkFigure1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure1(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFigure6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure6(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.AvgTageRed, "avg-tage-MPKI-red-%")
+		b.ReportMetric(f.AvgTournRed, "avg-tourn-MPKI-red-%")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFigure7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure7(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.AvgTagePBS, "avg-tage-IPC-gain-%")
+		b.ReportMetric(f.MaxTagePBS, "max-tage-IPC-gain-%")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure8(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.AvgTagePBS, "avg-tage-IPC-gain-%")
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := experiments.Figure9(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + f.String())
+		}
+	}
+}
+
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.TableII(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + experiments.TableI().String())
+			b.Log("\n" + tab.String())
+			b.Log("\n" + experiments.HardwareCost().String())
+		}
+	}
+}
+
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab, err := experiments.TableIII(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + tab.String())
+		}
+	}
+}
+
+func BenchmarkAccuracy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		acc, err := experiments.Accuracy(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + acc.String())
+		}
+	}
+}
+
+func BenchmarkBaselines(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		bc, err := experiments.BaselineComparison(benchOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + bc.String())
+		}
+	}
+}
+
+// Per-workload simulation throughput, PBS off/on, on the default core with
+// the TAGE-SC-L predictor. instr/s measures simulator speed; IPC and MPKI
+// report the simulated machine.
+func BenchmarkWorkloads(b *testing.B) {
+	for _, name := range workloads.Names() {
+		for _, pbs := range []bool{false, true} {
+			b.Run(fmt.Sprintf("%s/pbs=%v", name, pbs), func(b *testing.B) {
+				var instrs uint64
+				var ipc, mpki float64
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(sim.Config{
+						Workload:  name,
+						Seed:      uint64(i + 1),
+						Predictor: sim.PredTAGESCL,
+						PBS:       pbs,
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					instrs += res.Timing.Instructions
+					ipc = res.Timing.IPC()
+					mpki = res.Timing.MPKI()
+				}
+				b.ReportMetric(float64(instrs)/b.Elapsed().Seconds(), "sim-instr/s")
+				b.ReportMetric(ipc, "IPC")
+				b.ReportMetric(mpki, "MPKI")
+			})
+		}
+	}
+}
+
+// Ablation: the honest dataflow-resolution penalty model (fetch restarts
+// only after the branch's operand chain resolves) instead of the paper
+// simulator's front-end accounting. PBS gains grow substantially because
+// probabilistic branches sit at the end of long random-value chains.
+func BenchmarkResolutionPenalty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var gains []float64
+		for _, name := range workloads.Names() {
+			core := pipeline.FourWide()
+			core.ResolutionPenalty = true
+			var ipcs [2]float64
+			for j, pbs := range []bool{false, true} {
+				res, err := sim.Run(sim.Config{
+					Workload: name, Seed: 11, Predictor: sim.PredTAGESCL,
+					PBS: pbs, Core: &core,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				ipcs[j] = res.Timing.IPC()
+			}
+			gains = append(gains, 100*(ipcs[1]/ipcs[0]-1))
+			if i == 0 {
+				b.Logf("%-10s dataflow-penalty PBS IPC gain: %+.1f%%", name, gains[len(gains)-1])
+			}
+		}
+	}
+}
+
+// PBS hardware-table microbenchmark: resolution throughput of the unit
+// itself (the 193-byte structure).
+func BenchmarkPBSUnitResolve(b *testing.B) {
+	res, err := sim.Run(sim.Config{Workload: "PI", Seed: 1, PBS: true, SkipTiming: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = res
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{Workload: "PI", Seed: 1, PBS: true, SkipTiming: true,
+			MaxInstrs: 200_000})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Command pbsasm assembles, disassembles and runs PBS ISA assembly files.
+//
+// Usage:
+//
+//	pbsasm -run prog.pasm              # assemble and execute (PBS off)
+//	pbsasm -run -pbs -seed 3 prog.pasm # execute with PBS hardware
+//	pbsasm -dump prog.pasm             # assemble and disassemble
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		run  = flag.Bool("run", false, "execute the program")
+		dump = flag.Bool("dump", false, "print the disassembly")
+		pbs  = flag.Bool("pbs", false, "attach PBS hardware when running")
+		seed = flag.Uint64("seed", 1, "machine RNG seed")
+		max  = flag.Uint64("max", 100_000_000, "instruction budget")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "pbsasm: exactly one .pasm source file required")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbsasm:", err)
+		os.Exit(1)
+	}
+	prog, err := asm.Assemble(flag.Arg(0), string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbsasm:", err)
+		os.Exit(1)
+	}
+	if *dump || !*run {
+		fmt.Print(prog.Disassemble())
+	}
+	if !*run {
+		return
+	}
+
+	var unit *core.Unit
+	if *pbs {
+		unit, err = core.NewUnit(core.DefaultConfig())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbsasm:", err)
+			os.Exit(1)
+		}
+	}
+	cpu, err := emu.New(prog, rng.New(*seed), unit)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbsasm:", err)
+		os.Exit(1)
+	}
+	if err := cpu.Run(*max); err != nil {
+		fmt.Fprintln(os.Stderr, "pbsasm:", err)
+		os.Exit(1)
+	}
+	st := cpu.Stats()
+	fmt.Printf("; executed %d instructions (%d branches, %d probabilistic)\n",
+		st.Instructions, st.Branches, st.ProbBranches)
+	for i, v := range cpu.Output() {
+		fmt.Printf("out[%d] = %#x (%g)\n", i, v, math.Float64frombits(v))
+	}
+}

@@ -1,0 +1,105 @@
+// Command pbsim runs one benchmark on the simulated machine and prints
+// branch and timing metrics, with and without PBS as requested.
+//
+// Usage:
+//
+//	pbsim -workload PI -predictor tage-sc-l -pbs -seed 7 -scale 2 -wide 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "PI", "benchmark name (see -list)")
+		predictor = flag.String("predictor", "tage-sc-l", "branch predictor: tournament | tage-sc-l | always-taken")
+		pbs       = flag.Bool("pbs", false, "enable PBS hardware")
+		seed      = flag.Uint64("seed", 1, "machine RNG seed")
+		scale     = flag.Int("scale", 1, "iteration scale factor")
+		wide      = flag.Int("wide", 4, "core width: 4 (168-entry ROB) or 8 (256-entry ROB)")
+		filter    = flag.Bool("filter-prob", false, "exclude probabilistic branches from the predictor (Fig 9 experiment)")
+		list      = flag.Bool("list", false, "list benchmarks and exit")
+		dump      = flag.Bool("dump", false, "print the program disassembly and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s category %d, %d probabilistic branch(es): %s\n",
+				w.Name, w.Category, w.ProbBranches, w.Description)
+		}
+		return
+	}
+
+	cfg := sim.Config{
+		Workload:   *workload,
+		Params:     workloads.Params{Scale: *scale},
+		Seed:       *seed,
+		Predictor:  sim.PredictorKind(*predictor),
+		PBS:        *pbs,
+		FilterProb: *filter,
+	}
+	switch *wide {
+	case 4:
+	case 8:
+		core := pipeline.EightWide()
+		cfg.Core = &core
+	default:
+		fmt.Fprintln(os.Stderr, "pbsim: -wide must be 4 or 8")
+		os.Exit(2)
+	}
+
+	if *dump {
+		w, err := workloads.ByName(*workload)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbsim:", err)
+			os.Exit(1)
+		}
+		prog, err := w.Build(workloads.Params{Scale: *scale}, true)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pbsim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(prog.Disassemble())
+		return
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbsim:", err)
+		os.Exit(1)
+	}
+	m := res.Timing
+	fmt.Printf("workload      %s (PBS %v, %s predictor, %d-wide)\n", res.Workload, *pbs, *predictor, *wide)
+	fmt.Printf("instructions  %d\n", m.Instructions)
+	fmt.Printf("cycles        %d\n", m.Cycles)
+	fmt.Printf("IPC           %.3f\n", m.IPC())
+	fmt.Printf("branches      %d (%d conditional, %d probabilistic)\n", m.Branches, m.CondBranches, m.ProbBranches)
+	fmt.Printf("mispredicts   %d (MPKI %.2f; prob %.2f, regular %.2f)\n",
+		m.Mispredicts, m.MPKI(), m.MPKIProb(), m.MPKIReg())
+	fmt.Printf("PBS           steered %d, bootstrap %d, regular %d\n", m.ProbSteered, m.ProbBoot, m.ProbRegular)
+	if *pbs {
+		s := res.PBSStats
+		fmt.Printf("PBS unit      alloc %d, clears %d, const-violations %d, capacity-misses %d\n",
+			s.Allocations, s.ContextClears, s.ConstViolations, s.CapacityMisses)
+	}
+	fmt.Printf("caches        L1I miss %d, L1D miss %d, L2 miss %d\n", m.L1IMisses, m.L1DMisses, m.L2Misses)
+	fmt.Printf("outputs       %d values\n", len(res.Outputs))
+	for i, v := range res.Outputs {
+		if i >= 8 {
+			fmt.Printf("  ... (%d more)\n", len(res.Outputs)-8)
+			break
+		}
+		fmt.Printf("  out[%d] = %g\n", i, float64frombits(v))
+	}
+}
+
+func float64frombits(v uint64) float64 { return math.Float64frombits(v) }

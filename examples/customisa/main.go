@@ -1,0 +1,59 @@
+// Custom ISA program: assembles a hand-written .pasm source that estimates
+// the probability two uniform draws sum below 1, marks its branch
+// probabilistic, and runs it on the emulator with PBS attached.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/rng"
+)
+
+const source = `
+; Estimate P(u1 + u2 < 1) = 0.5 with a marked probabilistic branch.
+    movi r1, 100000      ; trials
+    movi r4, 0           ; hits
+    ldc  r5, =1.0
+loop:
+    randu r2
+    randu r3
+    fadd r2, r2, r3      ; s = u1 + u2
+    prob_cmp fge, r2, r5 ; probabilistic: s >= 1.0 ?
+    prob_jmp r0, miss
+    addi r4, r4, 1
+miss:
+    addi r1, r1, -1
+    cmpi r1, 0
+    jgt loop
+    out r4
+    halt
+`
+
+func main() {
+	prog, err := asm.Assemble("sum-below-one", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("disassembly:")
+	fmt.Print(prog.Disassemble())
+
+	unit, err := core.NewUnit(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cpu, err := emu.New(prog, rng.New(99), unit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cpu.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	hits := cpu.Output()[0]
+	fmt.Printf("\nhits: %d / 100000 => P ~= %.4f (expected 0.5)\n", hits, float64(hits)/100000)
+	st := unit.Stats()
+	fmt.Printf("PBS: %d steered, %d bootstrap of %d resolutions\n", st.Steered, st.Bootstrap, st.Resolutions)
+}

@@ -1,0 +1,43 @@
+// Evolutionary search: runs the Genetic benchmark over several seeds with
+// and without PBS and reports the success-rate confidence intervals —
+// the Section VII-D robustness argument in miniature.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	seeds := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	success := map[bool]int{}
+	for _, seed := range seeds {
+		for _, pbs := range []bool{false, true} {
+			res, err := sim.Run(sim.Config{
+				Workload:   "Genetic",
+				Seed:       seed,
+				PBS:        pbs,
+				SkipTiming: true, // functional run only
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if res.Outputs[0] == 1 {
+				success[pbs]++
+			}
+		}
+	}
+	n := len(seeds)
+	for _, pbs := range []bool{false, true} {
+		k := success[pbs]
+		ci := stats.ProportionCI95(k, n)
+		fmt.Printf("PBS=%-5v success rate %.3f over %d seeds, 95%% CI %v\n",
+			pbs, float64(k)/float64(n), n, ci)
+	}
+	a := stats.ProportionCI95(success[false], n)
+	b := stats.ProportionCI95(success[true], n)
+	fmt.Printf("confidence intervals overlap: %v (no statistical evidence of a difference)\n", a.Overlaps(b))
+}

@@ -1,0 +1,217 @@
+package asm
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+const coinSource = `
+; count heads in 1000 coin flips
+    movi r1, 1000
+    movi r4, 0
+    ldc  r5, =0.5
+loop:
+    randu r2
+    prob_cmp fge, r2, r5
+    prob_jmp r0, tails
+    addi r4, r4, 1
+tails:
+    addi r1, r1, -1
+    cmpi r1, 0
+    jgt loop
+    out r4
+    halt
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	prog, err := Assemble("coin", coinSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.ProbBranchPCs()) != 1 {
+		t.Error("probabilistic branch not assembled")
+	}
+	unit, err := core.NewUnit(core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := emu.New(prog, rng.New(4), unit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cpu.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	heads := int64(cpu.Output()[0])
+	if heads < 400 || heads > 600 {
+		t.Errorf("heads = %d, implausible for 1000 fair flips", heads)
+	}
+}
+
+func TestDirectives(t *testing.T) {
+	prog, err := Assemble("d", `
+.mem 256
+.word 64 -7
+.float 72 2.5
+    movi r1, 64
+    ld r2, r1, 0
+    ld r3, r1, 8
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.MemSize != 256 {
+		t.Errorf("mem size %d", prog.MemSize)
+	}
+	if int64(prog.DataInit[64]) != -7 {
+		t.Errorf("word init: %v", prog.DataInit)
+	}
+	if math.Float64frombits(prog.DataInit[72]) != 2.5 {
+		t.Errorf("float init: %v", prog.DataInit)
+	}
+}
+
+func TestRegisterAliases(t *testing.T) {
+	prog, err := Assemble("a", `
+    mov sp, lr
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Code[0].Rd != isa.SP || prog.Code[0].Ra != isa.LR {
+		t.Errorf("aliases: %v", prog.Code[0])
+	}
+}
+
+func TestNumericBranchOffsets(t *testing.T) {
+	prog, err := Assemble("n", `
+    movi r1, 1
+    jmp +2
+    movi r1, 2
+    halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Code[1].Imm != 2 {
+		t.Errorf("numeric offset: %v", prog.Code[1])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{"bogus r1, r2\nhalt", "unknown mnemonic"},
+		{"movi r99, 1\nhalt", "bad register"},
+		{"jmp nowhere\nhalt", "undefined label"},
+		{"x:\nx:\nhalt", "duplicate label"},
+		{"movi r1\nhalt", "needs an immediate"},
+		{"add r1, r2\nhalt", "needs a second source"},
+		{"prob_cmp zz, r1, r2\nhalt", "bad comparison kind"},
+		{"movi r1, 1, 2\nhalt", "trailing operands"},
+		{".mem\nhalt", ".mem needs"},
+		{".word 0\nhalt", "needs address and value"},
+		{"ldc r1, =abc\nhalt", "bad constant literal"},
+		{"prob_cmp lt, r1, r2\nhalt", "inside probabilistic group"},
+	}
+	for _, c := range cases {
+		if _, err := Assemble("e", c.src); err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("source %q: want error containing %q, got %v", c.src, c.want, err)
+		}
+	}
+}
+
+func TestErrorHasLineNumber(t *testing.T) {
+	_, err := Assemble("l", "movi r1, 1\nbogus\nhalt")
+	var ae *Error
+	if !asError(err, &ae) || ae.Line != 2 {
+		t.Errorf("line number: %v", err)
+	}
+}
+
+func asError(err error, target **Error) bool {
+	e, ok := err.(*Error)
+	if ok {
+		*target = e
+	}
+	return ok
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig, err := Assemble("coin", coinSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := Format(orig)
+	back, err := Assemble("coin2", text)
+	if err != nil {
+		t.Fatalf("formatted source does not assemble: %v\n%s", err, text)
+	}
+	if len(back.Code) != len(orig.Code) {
+		t.Fatalf("code length changed: %d vs %d", len(back.Code), len(orig.Code))
+	}
+	for i := range orig.Code {
+		a, b := orig.Code[i], back.Code[i]
+		// LDC pool indices may be renumbered; compare the pooled values.
+		if a.Op == isa.LDC && b.Op == isa.LDC {
+			if orig.Consts[a.Imm] != back.Consts[b.Imm] {
+				t.Errorf("instr %d: pooled constants differ", i)
+			}
+			continue
+		}
+		if a != b {
+			t.Errorf("instr %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+func TestFormatRoundTripWorkload(t *testing.T) {
+	// Property: every workload program survives Format → Assemble with
+	// identical semantics-relevant fields.
+	for _, w := range workloads.All() {
+		prog, err := w.Build(workloads.Params{Scale: 1}, true)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		back, err := Assemble(w.Name, Format(prog))
+		if err != nil {
+			t.Fatalf("%s: formatted source rejected: %v", w.Name, err)
+		}
+		if len(back.Code) != len(prog.Code) {
+			t.Fatalf("%s: code length changed", w.Name)
+		}
+		for i := range prog.Code {
+			a, b := prog.Code[i], back.Code[i]
+			if a.Op == isa.LDC {
+				if prog.Consts[a.Imm] != back.Consts[b.Imm] {
+					t.Fatalf("%s: instr %d constant differs", w.Name, i)
+				}
+				continue
+			}
+			if a != b {
+				t.Fatalf("%s: instr %d: %v vs %v", w.Name, i, a, b)
+			}
+		}
+	}
+}
+
+func TestLabelWithInstructionOnSameLine(t *testing.T) {
+	prog, err := Assemble("s", "start: movi r1, 5\n jmp start\n halt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Labels["start"] != 0 || prog.Code[1].Imm != -1 {
+		t.Errorf("inline label: %v %v", prog.Labels, prog.Code[1])
+	}
+}

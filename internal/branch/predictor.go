@@ -1,0 +1,96 @@
+// Package branch implements the dynamic branch predictors the paper
+// evaluates PBS against: a ~1 KB Pentium-M-style tournament predictor
+// (global + bimodal + loop components, after Uzelac & Milenkovic) and an
+// ~8 KB TAGE-SC-L predictor (TAGE tagged geometric tables + statistical
+// corrector + loop predictor, after Seznec's CBP-5 design), plus trivial
+// baselines for testing.
+package branch
+
+// Predictor is a conditional branch direction predictor. Predict is called
+// at fetch with the branch PC; Update is called in retirement order with
+// the actual outcome and the prediction previously returned.
+type Predictor interface {
+	// Predict returns the predicted direction for the branch at pc.
+	Predict(pc uint64) bool
+	// Update trains the predictor with the resolved outcome.
+	Update(pc uint64, taken, pred bool)
+	// Name identifies the predictor.
+	Name() string
+	// SizeBits returns the hardware storage budget in bits.
+	SizeBits() int
+	// Reset restores the power-on state.
+	Reset()
+}
+
+// counter helpers: n-bit saturating counters stored as unsigned with
+// midpoint threshold.
+
+func ctrInc(c uint8, max uint8) uint8 {
+	if c < max {
+		return c + 1
+	}
+	return c
+}
+
+func ctrDec(c uint8) uint8 {
+	if c > 0 {
+		return c - 1
+	}
+	return c
+}
+
+// sctrUpdate moves a signed saturating counter in [-lim-1, lim] toward
+// taken/not-taken.
+func sctrUpdate(c int8, taken bool, lim int8) int8 {
+	if taken {
+		if c < lim {
+			return c + 1
+		}
+		return c
+	}
+	if c > -lim-1 {
+		return c - 1
+	}
+	return c
+}
+
+// AlwaysTaken predicts every branch taken.
+type AlwaysTaken struct{}
+
+// Predict implements Predictor.
+func (AlwaysTaken) Predict(uint64) bool { return true }
+
+// Update implements Predictor.
+func (AlwaysTaken) Update(uint64, bool, bool) {}
+
+// Name implements Predictor.
+func (AlwaysTaken) Name() string { return "always-taken" }
+
+// SizeBits implements Predictor.
+func (AlwaysTaken) SizeBits() int { return 0 }
+
+// Reset implements Predictor.
+func (AlwaysTaken) Reset() {}
+
+// NeverTaken predicts every branch not taken.
+type NeverTaken struct{}
+
+// Predict implements Predictor.
+func (NeverTaken) Predict(uint64) bool { return false }
+
+// Update implements Predictor.
+func (NeverTaken) Update(uint64, bool, bool) {}
+
+// Name implements Predictor.
+func (NeverTaken) Name() string { return "never-taken" }
+
+// SizeBits implements Predictor.
+func (NeverTaken) SizeBits() int { return 0 }
+
+// Reset implements Predictor.
+func (NeverTaken) Reset() {}
+
+// mix hashes a PC into a table index seed (Fibonacci hashing).
+func mix(pc uint64) uint64 {
+	return pc * 0x9e3779b97f4a7c15
+}

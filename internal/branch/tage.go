@@ -1,0 +1,425 @@
+package branch
+
+// TAGE with a statistical corrector and a loop predictor (TAGE-SC-L),
+// following Seznec's CBP-5 design at a reduced ~8 KB budget (the paper's
+// stronger baseline, §VI-B). The TAGE component uses a bimodal base table
+// plus tagged tables indexed with geometrically increasing global history
+// lengths; the statistical corrector is a small GEHL-style adder tree; the
+// loop component captures fixed trip counts.
+
+// histBufSize is the circular global-history capacity (must exceed the
+// longest table history).
+const histBufSize = 256
+
+// histBuf is a circular shift register of branch outcomes.
+type histBuf struct {
+	bits [histBufSize]uint8
+	ptr  int
+}
+
+func (h *histBuf) push(bit uint8) {
+	h.ptr = (h.ptr - 1 + histBufSize) % histBufSize
+	h.bits[h.ptr] = bit
+}
+
+// at returns the bit i positions back (0 = most recent).
+func (h *histBuf) at(i int) uint8 {
+	return h.bits[(h.ptr+i)%histBufSize]
+}
+
+// foldedHist incrementally folds origLen bits of global history into
+// compLen bits (the standard TAGE folded-register trick).
+type foldedHist struct {
+	comp     uint32
+	compLen  uint
+	origLen  uint
+	outpoint uint
+}
+
+func newFolded(origLen, compLen uint) foldedHist {
+	return foldedHist{compLen: compLen, origLen: origLen, outpoint: origLen % compLen}
+}
+
+func (f *foldedHist) update(h *histBuf) {
+	f.comp = (f.comp << 1) | uint32(h.at(0))
+	f.comp ^= uint32(h.at(int(f.origLen))) << f.outpoint
+	f.comp ^= f.comp >> f.compLen
+	f.comp &= (1 << f.compLen) - 1
+}
+
+// tageEntry is one tagged-table row.
+type tageEntry struct {
+	tag uint16
+	ctr int8  // 3-bit signed: -4..3; taken when >= 0
+	u   uint8 // 2-bit useful counter
+}
+
+type tageTable struct {
+	entries  []tageEntry
+	idxBits  uint
+	tagBits  uint
+	histLen  uint
+	idxFold  foldedHist
+	tagFold1 foldedHist
+	tagFold2 foldedHist
+}
+
+func newTageTable(idxBits, tagBits, histLen uint) *tageTable {
+	return &tageTable{
+		entries:  make([]tageEntry, 1<<idxBits),
+		idxBits:  idxBits,
+		tagBits:  tagBits,
+		histLen:  histLen,
+		idxFold:  newFolded(histLen, idxBits),
+		tagFold1: newFolded(histLen, tagBits),
+		tagFold2: newFolded(histLen, tagBits-1),
+	}
+}
+
+func (t *tageTable) index(pc uint64) uint32 {
+	h := uint32(mix(pc)) ^ uint32(mix(pc)>>t.idxBits) ^ t.idxFold.comp
+	return h & ((1 << t.idxBits) - 1)
+}
+
+func (t *tageTable) tag(pc uint64) uint16 {
+	h := uint32(mix(pc)>>32) ^ t.tagFold1.comp ^ (t.tagFold2.comp << 1)
+	return uint16(h & ((1 << t.tagBits) - 1))
+}
+
+func (t *tageTable) sizeBits() int {
+	return len(t.entries) * (int(t.tagBits) + 3 + 2)
+}
+
+// TAGESCL is the composed TAGE-SC-L predictor.
+type TAGESCL struct {
+	base     []uint8 // bimodal base, 2-bit counters
+	baseMask uint64
+	tables   []*tageTable
+	hist     histBuf
+
+	loop *LoopPredictor
+
+	// Statistical corrector: a bias table indexed by pc and the TAGE
+	// prediction, plus GEHL components over global history prefixes.
+	scBias    []int8
+	scTables  [][]int8
+	scLens    []uint
+	scFolds   []foldedHist
+	scThresh  int32
+	scThreshC int8 // adaptive threshold trim counter
+
+	useAltOnNA int8 // use alt-prediction for weak providers
+	tick       uint32
+	lfsr       uint32
+
+	// prediction state carried from Predict to Update
+	p tagePredState
+}
+
+type tagePredState struct {
+	provider   int // table index, -1 = base
+	providerIx uint32
+	altPred    bool
+	tagePred   bool
+	weak       bool
+	scSum      int32
+	scUsed     bool
+	loopHit    bool
+	loopPred   bool
+	finalPred  bool
+}
+
+// NewTAGESCL builds the default ~8 KB configuration: 2K-entry bimodal
+// base, six 512-entry tagged tables with history lengths 4..80, a
+// statistical corrector with a bias table and three GEHL components, and a
+// 64-entry loop predictor.
+func NewTAGESCL() *TAGESCL {
+	return NewTAGESCLSized(11, 9, 9, []uint{4, 7, 13, 24, 44, 80}, 64)
+}
+
+// NewTAGESCLSized builds a TAGE-SC-L with 2^baseBits bimodal entries,
+// 2^idxBits rows per tagged table, tagBits-wide tags, the given history
+// lengths, and loopEntries loop rows.
+func NewTAGESCLSized(baseBits, idxBits, tagBits uint, histLens []uint, loopEntries int) *TAGESCL {
+	t := &TAGESCL{
+		base:     make([]uint8, 1<<baseBits),
+		baseMask: (1 << baseBits) - 1,
+		loop:     NewLoopPredictor(loopEntries),
+		scLens:   []uint{4, 11, 27},
+		lfsr:     0xace1,
+	}
+	for _, hl := range histLens {
+		t.tables = append(t.tables, newTageTable(idxBits, tagBits, hl))
+	}
+	t.scBias = make([]int8, 512)
+	for _, l := range t.scLens {
+		t.scTables = append(t.scTables, make([]int8, 256))
+		t.scFolds = append(t.scFolds, newFolded(l, 8))
+	}
+	t.scThresh = 2*int32(len(t.scTables)+1) + 1
+	t.Reset()
+	return t
+}
+
+func (t *TAGESCL) rand2() uint32 {
+	// 16-bit Galois LFSR for allocation randomisation.
+	lsb := t.lfsr & 1
+	t.lfsr >>= 1
+	if lsb != 0 {
+		t.lfsr ^= 0xb400
+	}
+	return t.lfsr
+}
+
+func (t *TAGESCL) baseIdx(pc uint64) uint64 { return mix(pc) & t.baseMask }
+
+func (t *TAGESCL) basePred(pc uint64) bool { return t.base[t.baseIdx(pc)] >= 2 }
+
+func (t *TAGESCL) scIndexBias(pc uint64, tagePred bool) int {
+	return int((mix(pc)<<1 | b2u(tagePred)) & uint64(len(t.scBias)-1))
+}
+
+func (t *TAGESCL) scIndex(i int, pc uint64) int {
+	return int((uint32(mix(pc)) ^ t.scFolds[i].comp ^ uint32(i)*0x9e37) & uint32(len(t.scTables[i])-1))
+}
+
+// Predict implements Predictor.
+func (t *TAGESCL) Predict(pc uint64) bool {
+	p := tagePredState{provider: -1}
+
+	// TAGE lookup: longest history match provides, next match is alt.
+	p.altPred = t.basePred(pc)
+	altSet := false
+	for i := len(t.tables) - 1; i >= 0; i-- {
+		tb := t.tables[i]
+		ix := tb.index(pc)
+		if tb.entries[ix].tag == tb.tag(pc) {
+			if p.provider < 0 {
+				p.provider = i
+				p.providerIx = ix
+			} else if !altSet {
+				p.altPred = tb.entries[ix].ctr >= 0
+				altSet = true
+				break
+			}
+		}
+	}
+	if p.provider >= 0 {
+		e := t.tables[p.provider].entries[p.providerIx]
+		p.tagePred = e.ctr >= 0
+		p.weak = e.ctr == 0 || e.ctr == -1
+		if p.weak && t.useAltOnNA >= 0 {
+			p.tagePred = p.altPred
+		}
+	} else {
+		p.tagePred = p.altPred
+	}
+
+	// Statistical corrector.
+	sum := int32(2*t.scBias[t.scIndexBias(pc, p.tagePred)]) + 1
+	for i := range t.scTables {
+		sum += int32(2*t.scTables[i][t.scIndex(i, pc)]) + 1
+	}
+	if !p.tagePred {
+		sum = -sum
+	}
+	// sum > 0 agrees with tagePred, sum < 0 argues for the inverse.
+	p.scSum = sum
+	p.finalPred = p.tagePred
+	if sum < 0 && -sum >= t.scThresh {
+		p.scUsed = true
+		p.finalPred = !p.tagePred
+	}
+
+	// Loop predictor overrides when confident.
+	if lp, hit := t.loop.Lookup(pc); hit {
+		p.loopHit = true
+		p.loopPred = lp
+		p.finalPred = lp
+	}
+
+	t.p = p
+	return p.finalPred
+}
+
+// Update implements Predictor.
+func (t *TAGESCL) Update(pc uint64, taken, _ bool) {
+	p := t.p
+
+	t.loop.Update(pc, taken)
+
+	// Statistical corrector training (O-GEHL style: train on wrong or
+	// low-confidence sums), with adaptive threshold.
+	scPred := p.tagePred
+	if p.scUsed {
+		scPred = !p.tagePred
+	}
+	mag := p.scSum
+	if mag < 0 {
+		mag = -mag
+	}
+	if scPred != taken || mag < t.scThresh {
+		i := t.scIndexBias(pc, p.tagePred)
+		t.scBias[i] = sctrUpdate(t.scBias[i], taken, 31)
+		for k := range t.scTables {
+			j := t.scIndex(k, pc)
+			t.scTables[k][j] = sctrUpdate(t.scTables[k][j], taken, 31)
+		}
+	}
+	if p.scUsed {
+		if scPred != taken {
+			if t.scThreshC < 63 {
+				t.scThreshC++
+			}
+			if t.scThreshC == 63 && t.scThresh < 128 {
+				t.scThresh++
+				t.scThreshC = 0
+			}
+		} else if p.tagePred != taken {
+			if t.scThreshC > -63 {
+				t.scThreshC--
+			}
+			if t.scThreshC == -63 && t.scThresh > 2 {
+				t.scThresh--
+				t.scThreshC = 0
+			}
+		}
+	}
+
+	// TAGE training.
+	if p.provider >= 0 {
+		e := &t.tables[p.provider].entries[p.providerIx]
+		providerPred := e.ctr >= 0
+		if p.weak && providerPred != p.altPred {
+			// Track whether alt beats weak providers.
+			if p.altPred == taken {
+				t.useAltOnNA = sctrUpdate(t.useAltOnNA, true, 7)
+			} else {
+				t.useAltOnNA = sctrUpdate(t.useAltOnNA, false, 7)
+			}
+		}
+		if providerPred != p.altPred {
+			if providerPred == taken {
+				e.u = ctrInc(e.u, 3)
+			} else {
+				e.u = ctrDec(e.u)
+			}
+		}
+		e.ctr = sctrUpdate(e.ctr, taken, 3)
+	} else {
+		i := t.baseIdx(pc)
+		if taken {
+			t.base[i] = ctrInc(t.base[i], 3)
+		} else {
+			t.base[i] = ctrDec(t.base[i])
+		}
+	}
+
+	// Allocation on a TAGE misprediction (before SC/loop override).
+	if p.tagePred != taken && p.provider < len(t.tables)-1 {
+		start := p.provider + 1
+		// Randomise the starting candidate a little, as in CBP code.
+		if t.rand2()&3 == 0 && start < len(t.tables)-1 {
+			start++
+		}
+		allocated := false
+		for i := start; i < len(t.tables); i++ {
+			tb := t.tables[i]
+			ix := tb.index(pc)
+			if tb.entries[ix].u == 0 {
+				tb.entries[ix] = tageEntry{tag: tb.tag(pc), ctr: ctrInit(taken)}
+				allocated = true
+				break
+			}
+		}
+		if !allocated {
+			for i := start; i < len(t.tables); i++ {
+				tb := t.tables[i]
+				ix := tb.index(pc)
+				tb.entries[ix].u = ctrDec(tb.entries[ix].u)
+			}
+		}
+	}
+
+	// Periodic useful-bit aging.
+	t.tick++
+	if t.tick&((1<<18)-1) == 0 {
+		for _, tb := range t.tables {
+			for i := range tb.entries {
+				tb.entries[i].u >>= 1
+			}
+		}
+	}
+
+	// Advance global history and every folded register.
+	var bit uint8
+	if taken {
+		bit = 1
+	}
+	t.hist.push(bit)
+	for _, tb := range t.tables {
+		tb.idxFold.update(&t.hist)
+		tb.tagFold1.update(&t.hist)
+		tb.tagFold2.update(&t.hist)
+	}
+	for i := range t.scFolds {
+		t.scFolds[i].update(&t.hist)
+	}
+}
+
+func ctrInit(taken bool) int8 {
+	if taken {
+		return 0
+	}
+	return -1
+}
+
+// Name implements Predictor.
+func (t *TAGESCL) Name() string { return "tage-sc-l" }
+
+// SizeBits implements Predictor.
+func (t *TAGESCL) SizeBits() int {
+	bits := 2 * len(t.base)
+	for _, tb := range t.tables {
+		bits += tb.sizeBits()
+	}
+	bits += 6 * len(t.scBias)
+	for _, st := range t.scTables {
+		bits += 6 * len(st)
+	}
+	bits += t.loop.SizeBits()
+	bits += histBufSize // global history register
+	return bits
+}
+
+// Reset implements Predictor.
+func (t *TAGESCL) Reset() {
+	for i := range t.base {
+		t.base[i] = 1
+	}
+	for _, tb := range t.tables {
+		for i := range tb.entries {
+			tb.entries[i] = tageEntry{}
+		}
+		tb.idxFold.comp = 0
+		tb.tagFold1.comp = 0
+		tb.tagFold2.comp = 0
+	}
+	for i := range t.scBias {
+		t.scBias[i] = 0
+	}
+	for k := range t.scTables {
+		for i := range t.scTables[k] {
+			t.scTables[k][i] = 0
+		}
+		t.scFolds[k].comp = 0
+	}
+	t.hist = histBuf{}
+	t.loop.Reset()
+	t.useAltOnNA = 0
+	t.tick = 0
+	t.lfsr = 0xace1
+	t.scThresh = 2*int32(len(t.scTables)+1) + 1
+	t.scThreshC = 0
+	t.p = tagePredState{provider: -1}
+}

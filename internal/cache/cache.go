@@ -1,0 +1,163 @@
+// Package cache models set-associative caches with LRU replacement and the
+// two-level hierarchy of the paper's simulated machine (32 KB split L1 I/D
+// + unified 2 MB L2, §VI-B).
+package cache
+
+import "fmt"
+
+// Config describes one cache level.
+type Config struct {
+	SizeBytes  int
+	LineBytes  int
+	Ways       int
+	HitLatency int // cycles
+}
+
+// L1I32K returns the paper's 32 KB instruction cache configuration.
+func L1I32K() Config { return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 4, HitLatency: 1} }
+
+// L1D32K returns the paper's 32 KB data cache configuration.
+func L1D32K() Config { return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8, HitLatency: 4} }
+
+// L2Unified2M returns the paper's 2 MB unified L2 configuration.
+func L2Unified2M() Config { return Config{SizeBytes: 2 << 20, LineBytes: 64, Ways: 16, HitLatency: 12} }
+
+type line struct {
+	valid bool
+	tag   uint64
+	lru   uint64
+}
+
+// Cache is one set-associative cache level.
+type Cache struct {
+	cfg      Config
+	sets     [][]line
+	setMask  uint64
+	lineBits uint
+	clock    uint64
+
+	Hits   uint64
+	Misses uint64
+}
+
+// New builds a cache. Size, line size and ways must describe a power-of-two
+// number of sets.
+func New(cfg Config) (*Cache, error) {
+	if cfg.LineBytes <= 0 || cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		return nil, fmt.Errorf("cache: non-positive geometry %+v", cfg)
+	}
+	nLines := cfg.SizeBytes / cfg.LineBytes
+	if nLines%cfg.Ways != 0 {
+		return nil, fmt.Errorf("cache: %d lines not divisible by %d ways", nLines, cfg.Ways)
+	}
+	nSets := nLines / cfg.Ways
+	if nSets&(nSets-1) != 0 {
+		return nil, fmt.Errorf("cache: set count %d is not a power of two", nSets)
+	}
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	if 1<<lineBits != cfg.LineBytes {
+		return nil, fmt.Errorf("cache: line size %d is not a power of two", cfg.LineBytes)
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nSets - 1), lineBits: lineBits}
+	c.sets = make([][]line, nSets)
+	backing := make([]line, nSets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
+	}
+	return c, nil
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Access looks up addr, filling the line on a miss, and reports whether it
+// hit.
+func (c *Cache) Access(addr uint64) bool {
+	c.clock++
+	block := addr >> c.lineBits
+	set := c.sets[block&c.setMask]
+	tag := block >> 1 // keep set bits out of the tag; harmless overlap otherwise
+	victim := 0
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			c.Hits++
+			return true
+		}
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = line{valid: true, tag: tag, lru: c.clock}
+	c.Misses++
+	return false
+}
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			c.sets[s][i] = line{}
+		}
+	}
+	c.clock = 0
+	c.Hits = 0
+	c.Misses = 0
+}
+
+// Hierarchy is a two-level hierarchy with split L1 and unified L2.
+type Hierarchy struct {
+	L1I, L1D, L2 *Cache
+	MemLatency   int
+}
+
+// NewHierarchy builds the hierarchy from per-level configurations.
+func NewHierarchy(l1i, l1d, l2 Config, memLatency int) (*Hierarchy, error) {
+	ci, err := New(l1i)
+	if err != nil {
+		return nil, err
+	}
+	cd, err := New(l1d)
+	if err != nil {
+		return nil, err
+	}
+	c2, err := New(l2)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{L1I: ci, L1D: cd, L2: c2, MemLatency: memLatency}, nil
+}
+
+// InstrLatency returns the access latency for an instruction fetch.
+func (h *Hierarchy) InstrLatency(addr uint64) int {
+	if h.L1I.Access(addr) {
+		return h.L1I.cfg.HitLatency
+	}
+	if h.L2.Access(addr) {
+		return h.L2.cfg.HitLatency
+	}
+	return h.MemLatency
+}
+
+// DataLatency returns the access latency for a data access.
+func (h *Hierarchy) DataLatency(addr uint64) int {
+	if h.L1D.Access(addr) {
+		return h.L1D.cfg.HitLatency
+	}
+	if h.L2.Access(addr) {
+		return h.L2.cfg.HitLatency
+	}
+	return h.MemLatency
+}
+
+// Reset clears all levels.
+func (h *Hierarchy) Reset() {
+	h.L1I.Reset()
+	h.L1D.Reset()
+	h.L2.Reset()
+}

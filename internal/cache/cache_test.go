@@ -1,0 +1,124 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c, err := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Access(0) {
+		t.Error("cold access hit")
+	}
+	if !c.Access(0) || !c.Access(63) {
+		t.Error("same line must hit")
+	}
+	if c.Access(64) {
+		t.Error("next line must miss")
+	}
+	if c.Hits != 2 || c.Misses != 2 {
+		t.Errorf("stats: %d/%d", c.Hits, c.Misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2-way, 8 sets of 64B lines: addresses 0, 512, 1024 map to set 0.
+	c, err := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(0)
+	c.Access(512)
+	c.Access(0)    // 0 is now MRU
+	c.Access(1024) // evicts 512 (LRU)
+	if !c.Access(0) {
+		t.Error("MRU line evicted")
+	}
+	if c.Access(512) {
+		t.Error("LRU line not evicted")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	bad := []Config{
+		{SizeBytes: 0, LineBytes: 64, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 60, Ways: 2},
+		{SizeBytes: 1024, LineBytes: 64, Ways: 3},
+		{SizeBytes: 3 * 64 * 2, LineBytes: 64, Ways: 2}, // 3 sets
+	}
+	for _, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("accepted bad geometry %+v", cfg)
+		}
+	}
+}
+
+func TestWorkingSetProperty(t *testing.T) {
+	// Property: any working set that fits entirely in the cache has no
+	// misses after the first pass.
+	f := func(seed uint8) bool {
+		c, err := New(Config{SizeBytes: 4096, LineBytes: 64, Ways: 4, HitLatency: 1})
+		if err != nil {
+			return false
+		}
+		nLines := 4096 / 64
+		for pass := 0; pass < 3; pass++ {
+			for i := 0; i < nLines; i++ {
+				c.Access(uint64(i*64 + int(seed)%64))
+			}
+		}
+		return c.Misses == uint64(nLines)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyLatencies(t *testing.T) {
+	h, err := NewHierarchy(
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 1},
+		Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 4},
+		Config{SizeBytes: 8192, LineBytes: 64, Ways: 4, HitLatency: 12},
+		100,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat := h.DataLatency(0); lat != 100 {
+		t.Errorf("cold data access latency %d, want memory (100)", lat)
+	}
+	if lat := h.DataLatency(0); lat != 4 {
+		t.Errorf("warm L1D latency %d, want 4", lat)
+	}
+	// Evict from L1D but not L2: touch enough conflicting lines.
+	for i := 1; i <= 4; i++ {
+		h.DataLatency(uint64(i * 512))
+	}
+	if lat := h.DataLatency(0); lat != 12 {
+		t.Errorf("L2 hit latency %d, want 12", lat)
+	}
+	if lat := h.InstrLatency(1 << 20); lat != 100 {
+		t.Errorf("cold fetch latency %d, want 100", lat)
+	}
+	if lat := h.InstrLatency(1 << 20); lat != 1 {
+		t.Errorf("warm L1I latency %d, want 1", lat)
+	}
+	h.Reset()
+	if lat := h.DataLatency(0); lat != 100 {
+		t.Errorf("reset did not clear: %d", lat)
+	}
+}
+
+func TestPaperGeometries(t *testing.T) {
+	for _, cfg := range []Config{L1I32K(), L1D32K(), L2Unified2M()} {
+		if _, err := New(cfg); err != nil {
+			t.Errorf("paper geometry rejected: %+v: %v", cfg, err)
+		}
+	}
+	if L2Unified2M().SizeBytes != 2<<20 {
+		t.Error("L2 size wrong")
+	}
+}

@@ -1,0 +1,138 @@
+// Package core implements Probabilistic Branch Support (PBS), the hardware
+// mechanism proposed by Adileh, Lilja and Eeckhout in "Architectural
+// Support for Probabilistic Branches" (MICRO 2018).
+//
+// The unit models the paper's three probabilistic tables plus the calling
+// context tracker of §V-C:
+//
+//   - Prob-BTB: per probabilistic branch — valid bit, branch PC + context
+//     (loop bit, function-call PC), target PC, the T/NT direction used to
+//     steer fetch, a pointer to the register holding the matching
+//     probabilistic value, and the Const-Val register used by the
+//     correctness check of §IV.
+//   - SwapTable: pointers to the additional probabilistic registers named
+//     by PROB_CMP and intermediate PROB_JMP instructions.
+//   - Prob-in-Flight: outcomes and values of branch instances that have
+//     executed but whose results have not yet been pulled into the
+//     Prob-BTB by a subsequent fetch.
+//   - Context-Table: the two innermost loops (Loop-PC/Last-PC detected
+//     from backward branches) with the function-call PC and a 3-bit call
+//     depth counter per loop.
+//
+// Because the reproduction is execution-driven rather than RTL, register
+// values are stored directly in the table records instead of physical
+// register names; the capacity and byte-cost accounting still follow the
+// paper's field widths exactly (§V-C2, 193 bytes for the default
+// configuration).
+package core
+
+import "fmt"
+
+// Config fixes the design-time parameters of the PBS hardware.
+type Config struct {
+	// Branches is the number of distinct probabilistic branches the
+	// Prob-BTB can track simultaneously (paper default: 4).
+	Branches int
+	// ValuesPerBranch is the number of probabilistic values that can be
+	// recorded per branch: one in the Prob-BTB Pr-Phy field, the rest in
+	// SwapTable entries (paper default: 2).
+	ValuesPerBranch int
+	// InFlight is the number of outstanding in-flight instances of a
+	// probabilistic branch supported between fetch and execute (paper
+	// default: 4). It also sets the bootstrap length: the first InFlight
+	// executions of a branch are treated as regular branches (§III-B).
+	InFlight int
+	// ContextLoops is the number of Context-Table entries, i.e. innermost
+	// loop nesting levels tracked (paper default: 2).
+	ContextLoops int
+	// EnableContext enables the calling-context support of §V-C1. With it
+	// disabled, branches are tracked by PC alone and loop termination does
+	// not clear entries.
+	EnableContext bool
+
+	// Field widths for cost accounting (defaults follow the paper).
+	PCBits       int // program counter width (48)
+	RegIdxBits   int // physical register index width (8)
+	ValueBits    int // Const-Val comparison value width (64)
+	BTBIndexBits int // SwapTable → Prob-BTB back-pointer width (3)
+}
+
+// DefaultConfig returns the configuration evaluated in the paper: four
+// probabilistic branches, two values per branch, four outstanding in-flight
+// copies, and a two-entry context table.
+func DefaultConfig() Config {
+	return Config{
+		Branches:        4,
+		ValuesPerBranch: 2,
+		InFlight:        4,
+		ContextLoops:    2,
+		EnableContext:   true,
+		PCBits:          48,
+		RegIdxBits:      8,
+		ValueBits:       64,
+		BTBIndexBits:    3,
+	}
+}
+
+// Validate reports whether the configuration is internally consistent.
+func (c Config) Validate() error {
+	switch {
+	case c.Branches < 1:
+		return fmt.Errorf("core: Branches must be >= 1, got %d", c.Branches)
+	case c.ValuesPerBranch < 1:
+		return fmt.Errorf("core: ValuesPerBranch must be >= 1, got %d", c.ValuesPerBranch)
+	case c.InFlight < 1:
+		return fmt.Errorf("core: InFlight must be >= 1, got %d", c.InFlight)
+	case c.EnableContext && c.ContextLoops < 1:
+		return fmt.Errorf("core: ContextLoops must be >= 1 when context is enabled, got %d", c.ContextLoops)
+	case c.PCBits < 1 || c.PCBits > 64:
+		return fmt.Errorf("core: PCBits out of range: %d", c.PCBits)
+	case c.RegIdxBits < 1 || c.RegIdxBits > 16:
+		return fmt.Errorf("core: RegIdxBits out of range: %d", c.RegIdxBits)
+	}
+	return nil
+}
+
+// Cost is the hardware storage breakdown of a PBS configuration, following
+// the arithmetic of §V-C2.
+type Cost struct {
+	ProbBTBBits   int // Prob-BTB entries (incl. context bits and Const-Val)
+	SwapTableBits int // SwapTable entries for values beyond the first
+	InFlightBits  int // Prob-in-Flight entries (2 bytes each, compare+jump)
+	ContextBits   int // Context-Table (three PC-width addresses + two 3-bit counters per entry)
+}
+
+// TotalBits returns the total storage in bits.
+func (c Cost) TotalBits() int {
+	return c.ProbBTBBits + c.SwapTableBits + c.InFlightBits + c.ContextBits
+}
+
+// TotalBytes returns the total storage in bytes (rounded to the nearest
+// byte, matching the paper's "193 bytes").
+func (c Cost) TotalBytes() int {
+	return (c.TotalBits() + 4) / 8
+}
+
+// Cost computes the storage cost of the configuration.
+//
+// Per Prob-BTB entry (§V-C2): 1 loop-index bit + PCBits function-call PC +
+// PCBits branch PC + PCBits target PC + RegIdxBits Pr-Phy pointer + valid
+// bit + T/NT bit + ValueBits Const-Val. Per SwapTable entry: PCBits +
+// BTBIndexBits + RegIdxBits + valid bit; each branch needs
+// ValuesPerBranch-1 of them. Each Prob-in-Flight entry is 2 bytes, with
+// entries for both the compare and the jump. Each Context-Table entry holds
+// three PC-width addresses (Loop-PC, Last-PC, Function-PC) and two 3-bit
+// counters.
+func (c Config) Cost() Cost {
+	btbEntry := 1 + 3*c.PCBits + c.RegIdxBits + 1 + 1 + c.ValueBits
+	swapEntry := c.PCBits + c.BTBIndexBits + c.RegIdxBits + 1
+	cost := Cost{
+		ProbBTBBits:   c.Branches * btbEntry,
+		SwapTableBits: c.Branches * (c.ValuesPerBranch - 1) * swapEntry,
+		InFlightBits:  c.InFlight * 2 * 16,
+	}
+	if c.EnableContext {
+		cost.ContextBits = c.ContextLoops * (3*c.PCBits + 2*3)
+	}
+	return cost
+}

@@ -1,0 +1,320 @@
+package core
+
+import "fmt"
+
+// Mode classifies how PBS handled one dynamic instance of a probabilistic
+// branch.
+type Mode uint8
+
+const (
+	// ModeRegular: PBS is not steering this instance — the branch is
+	// treated as a regular branch (untrackable context, table capacity,
+	// Const-Val violation, or too many values).
+	ModeRegular Mode = iota
+	// ModeBootstrap: the instance was recorded into the Prob-in-Flight
+	// table but fetch had no stored direction yet, so the branch executed
+	// with its natural outcome and was predicted like a regular branch
+	// (§III-B initialization phase).
+	ModeBootstrap
+	// ModeSteered: fetch followed the direction stored in the Prob-BTB and
+	// the control-dependent code consumed the recorded probabilistic
+	// values; the instance can never mispredict.
+	ModeSteered
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeRegular:
+		return "regular"
+	case ModeBootstrap:
+		return "bootstrap"
+	case ModeSteered:
+		return "steered"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Group describes one dynamic execution of a probabilistic branch group
+// (a PROB_CMP plus its PROB_JMPs), assembled by the emulator.
+type Group struct {
+	// PC is the instruction index of the terminal PROB_JMP (PCprob).
+	PC int
+	// CmpVal is the raw value the probabilistic value was compared
+	// against, used for the Const-Val correctness check of §IV.
+	CmpVal uint64
+	// Outcome is the branch outcome computed from the newly generated
+	// probabilistic values.
+	Outcome bool
+	// Vals are the newly generated probabilistic values, first the
+	// PROB_CMP register then each PROB_JMP register in program order.
+	Vals []uint64
+}
+
+// Resolution is PBS's answer for one dynamic branch instance.
+type Resolution struct {
+	Mode Mode
+	// Taken is the direction the branch follows. For ModeSteered it is the
+	// recorded direction; otherwise the natural outcome.
+	Taken bool
+	// Vals are the probabilistic values the control-dependent code must
+	// observe. For ModeSteered they are the recorded values matching
+	// Taken; otherwise the new values unchanged.
+	Vals []uint64
+}
+
+// Stats aggregates PBS activity counters.
+type Stats struct {
+	Resolutions     uint64 // dynamic probabilistic branch instances seen
+	Steered         uint64 // instances steered by the Prob-BTB
+	Bootstrap       uint64 // instances recorded during initialization
+	Regular         uint64 // instances executed as regular branches
+	ConstViolations uint64 // Const-Val mismatches (entry flushed, §V-C1)
+	CapacityMisses  uint64 // instances rejected because the Prob-BTB was full
+	ValueOverflows  uint64 // instances with more values than provisioned
+	UntrackableCtx  uint64 // instances at call depth > 1 (§V-C1)
+	Allocations     uint64 // Prob-BTB entry allocations
+	ContextClears   uint64 // entries flushed by loop termination/eviction
+	MaxLiveBranches int    // high-water mark of simultaneously tracked branches
+}
+
+// record is one Prob-in-Flight row pair (outcome + values).
+type record struct {
+	taken bool
+	vals  []uint64
+}
+
+// entry is one Prob-BTB row with its SwapTable values and in-flight queue.
+type entry struct {
+	gen      uint64 // owning loop generation (0 = outside any loop)
+	constVal uint64
+	constSet bool
+	// queue holds the recorded instances not yet consumed by a fetch: the
+	// Prob-in-Flight contents plus the Prob-BTB head. Fetch of instance i
+	// consumes the record produced by instance i-len(queue).
+	queue []record
+}
+
+type btbKey struct {
+	pc      int
+	loopBit uint8
+	funcPC  int32
+}
+
+// Unit is the PBS hardware unit.
+type Unit struct {
+	cfg     Config
+	ctx     *ContextTracker
+	entries map[btbKey]*entry
+	stats   Stats
+}
+
+// NewUnit builds a PBS unit for the given configuration.
+func NewUnit(cfg Config) (*Unit, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	u := &Unit{
+		cfg:     cfg,
+		entries: make(map[btbKey]*entry, cfg.Branches),
+	}
+	if cfg.EnableContext {
+		u.ctx = newContextTracker(cfg.ContextLoops, u.clearGen)
+	}
+	return u, nil
+}
+
+// Config returns the unit's configuration.
+func (u *Unit) Config() Config { return u.cfg }
+
+// Stats returns a snapshot of the activity counters.
+func (u *Unit) Stats() Stats { return u.stats }
+
+// clearGen flushes every probabilistic table entry owned by a terminated
+// or evicted loop generation, reclaiming the table capacity (§V-C1).
+func (u *Unit) clearGen(gen uint64) {
+	for k, e := range u.entries {
+		if e.gen == gen {
+			delete(u.entries, k)
+			u.stats.ContextClears++
+		}
+	}
+}
+
+// evictDead frees one Prob-BTB entry whose owning context is no longer
+// live: its loop generation was terminated/evicted, or it was allocated
+// outside any loop (generation 0) and execution has since entered a loop.
+// This is the over-capacity replacement heuristic of §V-C2 — entries of
+// stale contexts are the first to go. Reports whether a slot was freed.
+func (u *Unit) evictDead() bool {
+	for k, e := range u.entries {
+		if !u.genLive(e.gen) {
+			delete(u.entries, k)
+			u.stats.ContextClears++
+			return true
+		}
+	}
+	return false
+}
+
+// genLive reports whether the loop generation still identifies the current
+// context: positive generations must be present in the Context-Table;
+// generation 0 ("outside any loop") is live only while no loop is active.
+func (u *Unit) genLive(gen uint64) bool {
+	if u.ctx == nil {
+		return true
+	}
+	if gen == 0 {
+		return u.ctx.active < 0
+	}
+	for i := range u.ctx.loops {
+		if u.ctx.loops[i].valid && u.ctx.loops[i].gen == gen {
+			return true
+		}
+	}
+	return false
+}
+
+// OnBranch must be called for every executed non-probabilistic control
+// transfer with a static target so the Context-Table can detect loops.
+func (u *Unit) OnBranch(pc, target int, taken bool) {
+	if u.ctx != nil {
+		u.ctx.OnBranch(pc, target, taken)
+	}
+}
+
+// OnCall must be called for every executed CALL.
+func (u *Unit) OnCall(pc int) {
+	if u.ctx != nil {
+		u.ctx.OnCall(pc)
+	}
+}
+
+// OnRet must be called for every executed RET.
+func (u *Unit) OnRet() {
+	if u.ctx != nil {
+		u.ctx.OnRet()
+	}
+}
+
+// Resolve processes one dynamic probabilistic branch instance and decides
+// how it executes. The emulator applies the returned direction and values.
+func (u *Unit) Resolve(g Group) Resolution {
+	u.stats.Resolutions++
+	regular := Resolution{Mode: ModeRegular, Taken: g.Outcome, Vals: g.Vals}
+
+	key := btbKey{pc: g.PC}
+	var gen uint64
+	if u.ctx != nil {
+		ck, trackable := u.ctx.Context()
+		if !trackable {
+			u.stats.UntrackableCtx++
+			u.stats.Regular++
+			return regular
+		}
+		key.loopBit = ck.LoopBit
+		key.funcPC = ck.FuncPC
+		gen = ck.Gen
+	}
+
+	if len(g.Vals) > u.cfg.ValuesPerBranch {
+		u.stats.ValueOverflows++
+		u.stats.Regular++
+		return regular
+	}
+
+	e := u.entries[key]
+	if e != nil && e.gen != gen {
+		// The previous owner loop's entries were cleared but the same
+		// static branch re-appeared under a new activation of the loop:
+		// fresh context, fresh entry.
+		*e = entry{gen: gen}
+	}
+	if e == nil {
+		if len(u.entries) >= u.cfg.Branches && !u.evictDead() {
+			u.stats.CapacityMisses++
+			u.stats.Regular++
+			return regular
+		}
+		e = &entry{gen: gen}
+		u.entries[key] = e
+		u.stats.Allocations++
+		if n := len(u.entries); n > u.stats.MaxLiveBranches {
+			u.stats.MaxLiveBranches = n
+		}
+	}
+
+	// Const-Val correctness check (§IV, §V-C1): the comparison operand
+	// must not change within a context. On mismatch the entry is flushed
+	// and this instance executes as a regular branch; the next instance
+	// re-registers with the new value.
+	if e.constSet && e.constVal != g.CmpVal {
+		u.stats.ConstViolations++
+		u.stats.Regular++
+		*e = entry{gen: gen, constVal: g.CmpVal, constSet: true}
+		return regular
+	}
+	if !e.constSet {
+		e.constVal = g.CmpVal
+		e.constSet = true
+	}
+
+	newRec := record{taken: g.Outcome, vals: append([]uint64(nil), g.Vals...)}
+	if len(e.queue) < u.cfg.InFlight {
+		// Initialization phase: record, execute naturally, predict like a
+		// regular branch.
+		e.queue = append(e.queue, newRec)
+		u.stats.Bootstrap++
+		return Resolution{Mode: ModeBootstrap, Taken: g.Outcome, Vals: g.Vals}
+	}
+
+	// Steady state: fetch followed the direction recorded by the instance
+	// InFlight executions ago; its values are swapped in, and the new
+	// outcome/values are pushed for a future instance.
+	old := e.queue[0]
+	copy(e.queue, e.queue[1:])
+	e.queue[len(e.queue)-1] = newRec
+	u.stats.Steered++
+	return Resolution{Mode: ModeSteered, Taken: old.taken, Vals: old.vals}
+}
+
+// LiveBranches returns the number of currently tracked branches.
+func (u *Unit) LiveBranches() int { return len(u.entries) }
+
+// ContextTracker exposes the context tracker for tests; nil when context
+// support is disabled.
+func (u *Unit) ContextTracker() *ContextTracker { return u.ctx }
+
+// SaveState returns an opaque snapshot of the PBS architectural state, and
+// RestoreState reinstates it. The paper recommends saving/restoring the
+// 193 bytes of PBS state across context switches so no new initialization
+// phase is needed (§V-C2); these methods model that.
+func (u *Unit) SaveState() *SavedState {
+	s := &SavedState{entries: make(map[btbKey]entry, len(u.entries))}
+	for k, e := range u.entries {
+		cp := entry{gen: e.gen, constVal: e.constVal, constSet: e.constSet}
+		cp.queue = make([]record, len(e.queue))
+		for i, r := range e.queue {
+			cp.queue[i] = record{taken: r.taken, vals: append([]uint64(nil), r.vals...)}
+		}
+		s.entries[k] = cp
+	}
+	return s
+}
+
+// SavedState is an opaque PBS state snapshot.
+type SavedState struct {
+	entries map[btbKey]entry
+}
+
+// RestoreState reinstates a snapshot produced by SaveState.
+func (u *Unit) RestoreState(s *SavedState) {
+	u.entries = make(map[btbKey]*entry, len(s.entries))
+	for k, e := range s.entries {
+		cp := e
+		cp.queue = make([]record, len(e.queue))
+		for i, r := range e.queue {
+			cp.queue[i] = record{taken: r.taken, vals: append([]uint64(nil), r.vals...)}
+		}
+		u.entries[k] = &cp
+	}
+}

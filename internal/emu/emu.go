@@ -1,0 +1,565 @@
+// Package emu is the functional emulator of the PBS machine. It executes
+// programs instruction by instruction, drives the PBS unit (internal/core)
+// with branch/call/return events and probabilistic branch groups, applies
+// the value swaps PBS mandates, and streams a dynamic-instruction trace to
+// an optional listener (the timing model).
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/isa"
+	"repro/internal/rng"
+)
+
+// ProbState classifies a retired branch for the trace.
+type ProbState uint8
+
+const (
+	// ProbNone: not a probabilistic branch.
+	ProbNone ProbState = iota
+	// ProbRegular: a probabilistic branch executed as a regular branch
+	// (PBS disabled, untrackable context, capacity, or Const-Val flush).
+	// The front end must predict it.
+	ProbRegular
+	// ProbBootstrap: recorded during PBS initialization; still predicted
+	// like a regular branch.
+	ProbBootstrap
+	// ProbSteered: steered by the Prob-BTB; the direction is known at
+	// fetch and the branch can never mispredict.
+	ProbSteered
+)
+
+func (p ProbState) String() string {
+	switch p {
+	case ProbNone:
+		return "none"
+	case ProbRegular:
+		return "regular"
+	case ProbBootstrap:
+		return "bootstrap"
+	case ProbSteered:
+		return "steered"
+	}
+	return fmt.Sprintf("probstate(%d)", uint8(p))
+}
+
+// DynInstr is one retired dynamic instruction, as seen by trace listeners.
+type DynInstr struct {
+	// PC is the instruction index.
+	PC int32
+	// Taken is the resolved direction for control transfers.
+	Taken bool
+	// MemAddr is the effective byte address for loads and stores.
+	MemAddr uint64
+	// Prob classifies probabilistic branches (terminal PROB_JMPs only).
+	Prob ProbState
+}
+
+// Listener receives every retired instruction in program order.
+type Listener func(DynInstr)
+
+// Fault is a runtime error raised by the emulated program.
+type Fault struct {
+	PC     int
+	Instr  isa.Instr
+	Reason string
+}
+
+func (f *Fault) Error() string {
+	return fmt.Sprintf("emu: fault at pc %d (%s): %s", f.PC, f.Instr, f.Reason)
+}
+
+// flag bits stored in the flags pseudo-register.
+const (
+	flagLT uint64 = 1 << 0
+	flagEQ uint64 = 1 << 1
+)
+
+// probGroup accumulates one in-progress PROB_CMP/PROB_JMP group.
+type probGroup struct {
+	open    bool
+	outcome bool
+	cmpVal  uint64
+	vals    []uint64
+	regs    []isa.Reg
+}
+
+// Stats holds functional execution counters.
+type Stats struct {
+	Instructions uint64
+	Branches     uint64 // control transfers with a static target + RET
+	CondBranches uint64 // conditional branches (incl. terminal PROB_JMPs)
+	ProbBranches uint64 // terminal PROB_JMP executions
+	Calls        uint64
+	Returns      uint64
+	Loads        uint64
+	Stores       uint64
+	RandDraws    uint64
+	Outputs      uint64
+}
+
+// CPU executes one program. Construct with New.
+type CPU struct {
+	prog *isa.Program
+	regs [isa.NumDataflowRegs]uint64
+	mem  []byte
+	pc   int
+
+	rng *rng.Stream
+	pbs *core.Unit
+
+	halted bool
+	out    []uint64
+	stats  Stats
+
+	listener Listener
+	group    probGroup
+
+	// CaptureProb enables recording of probabilistic branch-controlling
+	// values: Generated in generation order, Consumed in the order the
+	// algorithm observes them after PBS swapping. With PBS disabled the
+	// two streams are identical; the randomness experiments (Table III)
+	// compare them.
+	CaptureProb bool
+	Generated   []float64
+	Consumed    []float64
+}
+
+// New builds a CPU for prog. pbs may be nil to run without PBS hardware
+// (probabilistic instructions then execute as plain compare+jump —
+// backward compatibility, §V-A2). The RNG stream must not be shared.
+func New(prog *isa.Program, r *rng.Stream, pbs *core.Unit) (*CPU, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	c := &CPU{
+		prog: prog,
+		mem:  make([]byte, prog.MemSize),
+		rng:  r,
+		pbs:  pbs,
+	}
+	for addr, v := range prog.DataInit {
+		putWord(c.mem, uint64(addr), v)
+	}
+	return c, nil
+}
+
+// SetListener installs the trace listener.
+func (c *CPU) SetListener(l Listener) { c.listener = l }
+
+// Halted reports whether the program has executed HALT.
+func (c *CPU) Halted() bool { return c.halted }
+
+// Output returns the program's OUT stream (raw 64-bit values).
+func (c *CPU) Output() []uint64 { return c.out }
+
+// OutputFloats returns the OUT stream interpreted as float64s.
+func (c *CPU) OutputFloats() []float64 {
+	fs := make([]float64, len(c.out))
+	for i, v := range c.out {
+		fs[i] = math.Float64frombits(v)
+	}
+	return fs
+}
+
+// Stats returns the functional execution counters.
+func (c *CPU) Stats() Stats { return c.stats }
+
+// Reg returns the current value of register r.
+func (c *CPU) Reg(r isa.Reg) uint64 { return c.regs[r] }
+
+// SetReg sets register r (writes to R0 are ignored, as in hardware).
+func (c *CPU) SetReg(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		c.regs[r] = v
+	}
+}
+
+// PBS returns the attached PBS unit (nil when disabled).
+func (c *CPU) PBS() *core.Unit { return c.pbs }
+
+// PC returns the current program counter.
+func (c *CPU) PC() int { return c.pc }
+
+func putWord(mem []byte, addr, v uint64) {
+	_ = mem[addr+7]
+	mem[addr] = byte(v)
+	mem[addr+1] = byte(v >> 8)
+	mem[addr+2] = byte(v >> 16)
+	mem[addr+3] = byte(v >> 24)
+	mem[addr+4] = byte(v >> 32)
+	mem[addr+5] = byte(v >> 40)
+	mem[addr+6] = byte(v >> 48)
+	mem[addr+7] = byte(v >> 56)
+}
+
+func getWord(mem []byte, addr uint64) uint64 {
+	_ = mem[addr+7]
+	return uint64(mem[addr]) | uint64(mem[addr+1])<<8 | uint64(mem[addr+2])<<16 |
+		uint64(mem[addr+3])<<24 | uint64(mem[addr+4])<<32 | uint64(mem[addr+5])<<40 |
+		uint64(mem[addr+6])<<48 | uint64(mem[addr+7])<<56
+}
+
+// ReadWord reads the 64-bit data word at addr (for tests and harnesses).
+func (c *CPU) ReadWord(addr int64) (uint64, error) {
+	if addr < 0 || addr+8 > int64(len(c.mem)) {
+		return 0, fmt.Errorf("emu: ReadWord address %d out of range", addr)
+	}
+	return getWord(c.mem, uint64(addr)), nil
+}
+
+func (c *CPU) fault(ins isa.Instr, format string, args ...any) error {
+	return &Fault{PC: c.pc, Instr: ins, Reason: fmt.Sprintf(format, args...)}
+}
+
+func (c *CPU) setFlags(lt, eq bool) {
+	var f uint64
+	if lt {
+		f |= flagLT
+	}
+	if eq {
+		f |= flagEQ
+	}
+	c.regs[isa.FlagsReg] = f
+}
+
+func (c *CPU) condHolds(op isa.Op) bool {
+	f := c.regs[isa.FlagsReg]
+	lt := f&flagLT != 0
+	eq := f&flagEQ != 0
+	switch op {
+	case isa.JEQ:
+		return eq
+	case isa.JNE:
+		return !eq
+	case isa.JLT:
+		return lt
+	case isa.JLE:
+		return lt || eq
+	case isa.JGT:
+		return !lt && !eq
+	case isa.JGE:
+		return !lt
+	}
+	return false
+}
+
+func f64(bits uint64) float64 { return math.Float64frombits(bits) }
+func bits(f float64) uint64   { return math.Float64bits(f) }
+
+// Run executes until HALT, a fault, or maxInstrs retired instructions
+// (0 = no limit). It returns nil on HALT and on hitting the instruction
+// budget.
+func (c *CPU) Run(maxInstrs uint64) error {
+	for !c.halted {
+		if maxInstrs > 0 && c.stats.Instructions >= maxInstrs {
+			return nil
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Step executes a single instruction.
+func (c *CPU) Step() error {
+	if c.halted {
+		return fmt.Errorf("emu: step after halt")
+	}
+	if c.pc < 0 || c.pc >= len(c.prog.Code) {
+		return &Fault{PC: c.pc, Reason: "program counter out of range"}
+	}
+	ins := c.prog.Code[c.pc]
+	di := DynInstr{PC: int32(c.pc)}
+	next := c.pc + 1
+
+	ra := c.regs[ins.Ra]
+	rb := c.regs[ins.Rb]
+
+	switch ins.Op {
+	case isa.NOP:
+	case isa.HALT:
+		c.halted = true
+
+	case isa.MOV:
+		c.SetReg(ins.Rd, ra)
+	case isa.MOVI:
+		c.SetReg(ins.Rd, uint64(int64(ins.Imm)))
+	case isa.LDC:
+		c.SetReg(ins.Rd, c.prog.Consts[ins.Imm])
+
+	case isa.ADD:
+		c.SetReg(ins.Rd, ra+rb)
+	case isa.SUB:
+		c.SetReg(ins.Rd, ra-rb)
+	case isa.MUL:
+		c.SetReg(ins.Rd, uint64(int64(ra)*int64(rb)))
+	case isa.DIV:
+		if rb == 0 {
+			return c.fault(ins, "division by zero")
+		}
+		c.SetReg(ins.Rd, uint64(int64(ra)/int64(rb)))
+	case isa.REM:
+		if rb == 0 {
+			return c.fault(ins, "remainder by zero")
+		}
+		c.SetReg(ins.Rd, uint64(int64(ra)%int64(rb)))
+	case isa.AND:
+		c.SetReg(ins.Rd, ra&rb)
+	case isa.OR:
+		c.SetReg(ins.Rd, ra|rb)
+	case isa.XOR:
+		c.SetReg(ins.Rd, ra^rb)
+	case isa.SHL:
+		c.SetReg(ins.Rd, ra<<(rb&63))
+	case isa.SHR:
+		c.SetReg(ins.Rd, ra>>(rb&63))
+	case isa.NEG:
+		c.SetReg(ins.Rd, uint64(-int64(ra)))
+
+	case isa.ADDI:
+		c.SetReg(ins.Rd, ra+uint64(int64(ins.Imm)))
+	case isa.MULI:
+		c.SetReg(ins.Rd, uint64(int64(ra)*int64(ins.Imm)))
+	case isa.ANDI:
+		c.SetReg(ins.Rd, ra&uint64(int64(ins.Imm)))
+	case isa.ORI:
+		c.SetReg(ins.Rd, ra|uint64(int64(ins.Imm)))
+	case isa.XORI:
+		c.SetReg(ins.Rd, ra^uint64(int64(ins.Imm)))
+	case isa.SHLI:
+		c.SetReg(ins.Rd, ra<<(uint32(ins.Imm)&63))
+	case isa.SHRI:
+		c.SetReg(ins.Rd, ra>>(uint32(ins.Imm)&63))
+
+	case isa.FADD:
+		c.SetReg(ins.Rd, bits(f64(ra)+f64(rb)))
+	case isa.FSUB:
+		c.SetReg(ins.Rd, bits(f64(ra)-f64(rb)))
+	case isa.FMUL:
+		c.SetReg(ins.Rd, bits(f64(ra)*f64(rb)))
+	case isa.FDIV:
+		c.SetReg(ins.Rd, bits(f64(ra)/f64(rb)))
+	case isa.FSQRT:
+		c.SetReg(ins.Rd, bits(math.Sqrt(f64(ra))))
+	case isa.FNEG:
+		c.SetReg(ins.Rd, bits(-f64(ra)))
+	case isa.FABS:
+		c.SetReg(ins.Rd, bits(math.Abs(f64(ra))))
+	case isa.FEXP:
+		c.SetReg(ins.Rd, bits(math.Exp(f64(ra))))
+	case isa.FLN:
+		c.SetReg(ins.Rd, bits(math.Log(f64(ra))))
+	case isa.FSIN:
+		c.SetReg(ins.Rd, bits(math.Sin(f64(ra))))
+	case isa.FCOS:
+		c.SetReg(ins.Rd, bits(math.Cos(f64(ra))))
+	case isa.FMIN:
+		c.SetReg(ins.Rd, bits(math.Min(f64(ra), f64(rb))))
+	case isa.FMAX:
+		c.SetReg(ins.Rd, bits(math.Max(f64(ra), f64(rb))))
+	case isa.FFLOOR:
+		c.SetReg(ins.Rd, bits(math.Floor(f64(ra))))
+	case isa.ITOF:
+		c.SetReg(ins.Rd, bits(float64(int64(ra))))
+	case isa.FTOI:
+		f := f64(ra)
+		if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
+			return c.fault(ins, "float to int conversion out of range (%g)", f)
+		}
+		c.SetReg(ins.Rd, uint64(int64(f)))
+
+	case isa.LD, isa.LDB:
+		addr := int64(ra) + int64(ins.Imm)
+		size := int64(8)
+		if ins.Op == isa.LDB {
+			size = 1
+		}
+		if addr < 0 || addr+size > int64(len(c.mem)) {
+			return c.fault(ins, "load address %d out of range [0,%d)", addr, len(c.mem))
+		}
+		if ins.Op == isa.LD {
+			c.SetReg(ins.Rd, getWord(c.mem, uint64(addr)))
+		} else {
+			c.SetReg(ins.Rd, uint64(c.mem[addr]))
+		}
+		di.MemAddr = uint64(addr)
+		c.stats.Loads++
+	case isa.ST, isa.STB:
+		addr := int64(ra) + int64(ins.Imm)
+		size := int64(8)
+		if ins.Op == isa.STB {
+			size = 1
+		}
+		if addr < 0 || addr+size > int64(len(c.mem)) {
+			return c.fault(ins, "store address %d out of range [0,%d)", addr, len(c.mem))
+		}
+		if ins.Op == isa.ST {
+			putWord(c.mem, uint64(addr), rb)
+		} else {
+			c.mem[addr] = byte(rb)
+		}
+		di.MemAddr = uint64(addr)
+		c.stats.Stores++
+
+	case isa.CMP:
+		c.setFlags(int64(ra) < int64(rb), ra == rb)
+	case isa.CMPI:
+		b := int64(ins.Imm)
+		c.setFlags(int64(ra) < b, int64(ra) == b)
+	case isa.FCMP:
+		fa, fb := f64(ra), f64(rb)
+		c.setFlags(fa < fb, fa == fb)
+
+	case isa.JMP:
+		next = c.pc + int(ins.Imm)
+		di.Taken = true
+		c.stats.Branches++
+		c.notifyBranch(ins, true)
+	case isa.JEQ, isa.JNE, isa.JLT, isa.JLE, isa.JGT, isa.JGE:
+		taken := c.condHolds(ins.Op)
+		if taken {
+			next = c.pc + int(ins.Imm)
+		}
+		di.Taken = taken
+		c.stats.Branches++
+		c.stats.CondBranches++
+		c.notifyBranch(ins, taken)
+
+	case isa.CALL:
+		c.SetReg(isa.LR, uint64(c.pc+1))
+		next = c.pc + int(ins.Imm)
+		di.Taken = true
+		c.stats.Branches++
+		c.stats.Calls++
+		if c.pbs != nil {
+			c.pbs.OnCall(c.pc)
+		}
+	case isa.RET:
+		next = int(c.regs[isa.LR])
+		if next < 0 || next > len(c.prog.Code) {
+			return c.fault(ins, "return to invalid pc %d", next)
+		}
+		di.Taken = true
+		c.stats.Branches++
+		c.stats.Returns++
+		if c.pbs != nil {
+			c.pbs.OnRet()
+		}
+
+	case isa.PROBCMP:
+		if c.group.open {
+			return c.fault(ins, "PROB_CMP while a probabilistic group is open")
+		}
+		kind := isa.CmpKind(ins.Imm)
+		c.group = probGroup{
+			open:    true,
+			outcome: isa.EvalCmp(kind, ra, rb),
+			cmpVal:  rb,
+			vals:    append(c.group.vals[:0], ra),
+			regs:    append(c.group.regs[:0], ins.Ra),
+		}
+
+	case isa.PROBJMP:
+		if !c.group.open {
+			return c.fault(ins, "PROB_JMP without open probabilistic group")
+		}
+		if ins.Ra != isa.R0 {
+			c.group.vals = append(c.group.vals, ra)
+			c.group.regs = append(c.group.regs, ins.Ra)
+		}
+		if ins.Imm == isa.NoTarget {
+			break // intermediate value-transfer PROB_JMP
+		}
+		c.group.open = false
+		taken, state := c.resolveProb(ins)
+		if taken {
+			next = c.pc + int(ins.Imm)
+		}
+		di.Taken = taken
+		di.Prob = state
+		c.stats.Branches++
+		c.stats.CondBranches++
+		c.stats.ProbBranches++
+
+	case isa.RANDU:
+		c.SetReg(ins.Rd, bits(c.rng.Float64()))
+		c.stats.RandDraws++
+	case isa.RANDN:
+		c.SetReg(ins.Rd, bits(c.rng.NormFloat64()))
+		c.stats.RandDraws++
+	case isa.RANDI:
+		n := int64(ra)
+		if n <= 0 {
+			return c.fault(ins, "RANDI with non-positive bound %d", n)
+		}
+		c.SetReg(ins.Rd, uint64(c.rng.Int63n(n)))
+		c.stats.RandDraws++
+
+	case isa.OUT:
+		c.out = append(c.out, ra)
+		c.stats.Outputs++
+
+	default:
+		return c.fault(ins, "unimplemented opcode")
+	}
+
+	c.pc = next
+	c.stats.Instructions++
+	if c.listener != nil {
+		c.listener(di)
+	}
+	return nil
+}
+
+// notifyBranch feeds the PBS loop detector with executed regular branches.
+func (c *CPU) notifyBranch(ins isa.Instr, taken bool) {
+	if c.pbs == nil {
+		return
+	}
+	if t, ok := ins.Target(c.pc); ok {
+		c.pbs.OnBranch(c.pc, t, taken)
+	}
+}
+
+// resolveProb finishes a probabilistic branch group at its terminal
+// PROB_JMP: with PBS attached, the unit decides direction and values and
+// the emulator applies the swap; without PBS the branch follows its
+// natural outcome.
+func (c *CPU) resolveProb(ins isa.Instr) (bool, ProbState) {
+	g := c.group
+	if c.pbs == nil {
+		if c.CaptureProb {
+			c.Generated = append(c.Generated, f64(g.vals[0]))
+			c.Consumed = append(c.Consumed, f64(g.vals[0]))
+		}
+		return g.outcome, ProbRegular
+	}
+	res := c.pbs.Resolve(core.Group{
+		PC:      c.pc,
+		CmpVal:  g.cmpVal,
+		Outcome: g.outcome,
+		Vals:    g.vals,
+	})
+	for i, r := range g.regs {
+		c.SetReg(r, res.Vals[i])
+	}
+	if c.CaptureProb {
+		c.Generated = append(c.Generated, f64(g.vals[0]))
+		c.Consumed = append(c.Consumed, f64(res.Vals[0]))
+	}
+	var state ProbState
+	switch res.Mode {
+	case core.ModeRegular:
+		state = ProbRegular
+	case core.ModeBootstrap:
+		state = ProbBootstrap
+	case core.ModeSteered:
+		state = ProbSteered
+	}
+	return res.Taken, state
+}

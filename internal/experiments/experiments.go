@@ -1,0 +1,126 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI-§VII): Figure 1 (motivation breakdown), Table I
+// (predication/CFD applicability), Table II (benchmark characteristics),
+// Figure 6 (MPKI reduction), Figures 7-8 (normalized IPC, 4- and 8-wide),
+// Figure 9 (predictor interference), Table III (randomness battery), the
+// §VII-D output-accuracy study, and the §V-C2 hardware cost breakdown.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Options control experiment scale and statistics.
+type Options struct {
+	// Scale multiplies every workload's baseline iteration count.
+	Scale int
+	// Seeds are the RNG seeds used by multi-seed experiments (the paper
+	// uses 7 for randomness/interference and 8 for Genetic).
+	Seeds []uint64
+	// Parallel caps concurrent simulations (0 = GOMAXPROCS).
+	Parallel int
+}
+
+// DefaultOptions returns the experiment defaults.
+func DefaultOptions() Options {
+	return Options{
+		Scale: 1,
+		Seeds: []uint64{11, 23, 37, 41, 53, 67, 79},
+	}
+}
+
+// QuickOptions returns a reduced configuration for tests.
+func QuickOptions() Options {
+	return Options{Scale: 1, Seeds: []uint64{11, 23, 37}}
+}
+
+func (o Options) parallel() int {
+	if o.Parallel > 0 {
+		return o.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) seed0() uint64 {
+	if len(o.Seeds) > 0 {
+		return o.Seeds[0]
+	}
+	return 1
+}
+
+// runParallel executes the jobs with bounded parallelism and returns the
+// first error.
+func runParallel(par int, jobs []func() error) error {
+	if par < 1 {
+		par = 1
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for _, job := range jobs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(job func() error) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := job(); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}(job)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			return 0
+		}
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// header renders a fixed-width table header row.
+func header(sb *strings.Builder, cols ...string) {
+	for _, c := range cols {
+		fmt.Fprintf(sb, "%-14s", c)
+	}
+	sb.WriteByte('\n')
+	for range cols {
+		fmt.Fprintf(sb, "%-14s", strings.Repeat("-", 12))
+	}
+	sb.WriteByte('\n')
+}
+
+// workloadNames returns the Table II ordering.
+func workloadNames() []string { return workloads.Names() }
+
+// baseRun builds a sim config shared by most experiments.
+func baseRun(name string, seed uint64, scale int, pred sim.PredictorKind, pbs bool) sim.Config {
+	return sim.Config{
+		Workload:  name,
+		Params:    workloads.Params{Scale: scale},
+		Seed:      seed,
+		Predictor: pred,
+		PBS:       pbs,
+	}
+}

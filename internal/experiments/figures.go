@@ -1,0 +1,324 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+)
+
+// Fig1Row is one benchmark of Figure 1: the share of dynamic conditional
+// branches that are probabilistic, and the share of mispredictions they
+// cause under each predictor.
+type Fig1Row struct {
+	Workload        string
+	ProbBranchShare float64 // % of dynamic conditional branches
+	TournMissShare  float64 // % of tournament mispredictions
+	TageMissShare   float64 // % of TAGE-SC-L mispredictions
+}
+
+// Fig1 is the Figure 1 dataset.
+type Fig1 struct{ Rows []Fig1Row }
+
+// Figure1 reproduces Figure 1: probabilistic branches are a minority of
+// dynamic branches but a disproportionate share of mispredictions.
+func Figure1(opt Options) (*Fig1, error) {
+	names := workloadNames()
+	rows := make([]Fig1Row, len(names))
+	var jobs []func() error
+	for i, name := range names {
+		i, name := i, name
+		jobs = append(jobs, func() error {
+			tour, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, sim.PredTournament, false))
+			if err != nil {
+				return err
+			}
+			tage, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, sim.PredTAGESCL, false))
+			if err != nil {
+				return err
+			}
+			mt, mg := tour.Timing, tage.Timing
+			rows[i] = Fig1Row{
+				Workload:        name,
+				ProbBranchShare: 100 * float64(mt.ProbBranches) / float64(mt.CondBranches),
+				TournMissShare:  100 * float64(mt.MispredictsProb) / float64(mt.Mispredicts),
+				TageMissShare:   100 * float64(mg.MispredictsProb) / float64(mg.Mispredicts),
+			}
+			return nil
+		})
+	}
+	if err := runParallel(opt.parallel(), jobs); err != nil {
+		return nil, err
+	}
+	return &Fig1{Rows: rows}, nil
+}
+
+func (f *Fig1) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 1: probabilistic vs regular branches (baseline, no PBS)\n")
+	header(&sb, "benchmark", "%dyn branches", "%tourn misses", "%tage misses")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-14s%-14.1f%-14.1f%-14.1f\n",
+			r.Workload, r.ProbBranchShare, r.TournMissShare, r.TageMissShare)
+	}
+	return sb.String()
+}
+
+// Fig6Row is one benchmark of Figure 6.
+type Fig6Row struct {
+	Workload       string
+	TournBaseMPKI  float64
+	TournPBSMPKI   float64
+	TournReduction float64 // %
+	TageBaseMPKI   float64
+	TagePBSMPKI    float64
+	TageReduction  float64 // %
+}
+
+// Fig6 is the Figure 6 dataset.
+type Fig6 struct {
+	Rows                    []Fig6Row
+	AvgTournRed, AvgTageRed float64
+	MaxTournRed, MaxTageRed float64
+}
+
+// Figure6 reproduces Figure 6: MPKI reduction through PBS for both
+// predictors.
+func Figure6(opt Options) (*Fig6, error) {
+	names := workloadNames()
+	rows := make([]Fig6Row, len(names))
+	var jobs []func() error
+	for i, name := range names {
+		i, name := i, name
+		jobs = append(jobs, func() error {
+			row := Fig6Row{Workload: name}
+			for _, pred := range []sim.PredictorKind{sim.PredTournament, sim.PredTAGESCL} {
+				base, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, pred, false))
+				if err != nil {
+					return err
+				}
+				pbs, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, pred, true))
+				if err != nil {
+					return err
+				}
+				b, p := base.Timing.MPKI(), pbs.Timing.MPKI()
+				red := 0.0
+				if b > 0 {
+					red = 100 * (b - p) / b
+				}
+				if pred == sim.PredTournament {
+					row.TournBaseMPKI, row.TournPBSMPKI, row.TournReduction = b, p, red
+				} else {
+					row.TageBaseMPKI, row.TagePBSMPKI, row.TageReduction = b, p, red
+				}
+			}
+			rows[i] = row
+			return nil
+		})
+	}
+	if err := runParallel(opt.parallel(), jobs); err != nil {
+		return nil, err
+	}
+	f := &Fig6{Rows: rows}
+	for _, r := range rows {
+		f.AvgTournRed += r.TournReduction / float64(len(rows))
+		f.AvgTageRed += r.TageReduction / float64(len(rows))
+		if r.TournReduction > f.MaxTournRed {
+			f.MaxTournRed = r.TournReduction
+		}
+		if r.TageReduction > f.MaxTageRed {
+			f.MaxTageRed = r.TageReduction
+		}
+	}
+	return f, nil
+}
+
+func (f *Fig6) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 6: MPKI reduction through PBS\n")
+	header(&sb, "benchmark", "tourn base", "tourn PBS", "tourn red%", "tage base", "tage PBS", "tage red%")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-14s%-14.2f%-14.2f%-14.1f%-14.2f%-14.2f%-14.1f\n",
+			r.Workload, r.TournBaseMPKI, r.TournPBSMPKI, r.TournReduction,
+			r.TageBaseMPKI, r.TagePBSMPKI, r.TageReduction)
+	}
+	fmt.Fprintf(&sb, "average reduction: tournament %.1f%% (paper: 29.9%%), TAGE-SC-L %.1f%% (paper: 44.8%%)\n",
+		f.AvgTournRed, f.AvgTageRed)
+	fmt.Fprintf(&sb, "max reduction:     tournament %.1f%% (paper: up to 99%%), TAGE-SC-L %.1f%% (paper: up to 99%%)\n",
+		f.MaxTournRed, f.MaxTageRed)
+	return sb.String()
+}
+
+// FigIPCRow is one benchmark of Figures 7/8: IPC normalized to the
+// tournament baseline.
+type FigIPCRow struct {
+	Workload     string
+	Tournament   float64 // 1.0 by construction
+	Tage         float64
+	TournamentPB float64
+	TagePB       float64
+}
+
+// FigIPC is the Figures 7/8 dataset.
+type FigIPC struct {
+	Wide        int
+	Rows        []FigIPCRow
+	AvgTournPBS float64 // geomean gain of tournament+PBS over tournament, %
+	AvgTagePBS  float64 // geomean gain of TAGE+PBS over TAGE, %
+	MaxTournPBS float64
+	MaxTagePBS  float64
+}
+
+// figureIPC runs the four configurations of Figures 7/8 on the given core.
+func figureIPC(opt Options, core pipeline.Config) (*FigIPC, error) {
+	names := workloadNames()
+	rows := make([]FigIPCRow, len(names))
+	var jobs []func() error
+	for i, name := range names {
+		i, name := i, name
+		jobs = append(jobs, func() error {
+			type cfg struct {
+				pred sim.PredictorKind
+				pbs  bool
+			}
+			cfgs := []cfg{
+				{sim.PredTournament, false},
+				{sim.PredTAGESCL, false},
+				{sim.PredTournament, true},
+				{sim.PredTAGESCL, true},
+			}
+			ipcs := make([]float64, len(cfgs))
+			for j, c := range cfgs {
+				rc := baseRun(name, opt.seed0(), opt.Scale, c.pred, c.pbs)
+				coreCopy := core
+				rc.Core = &coreCopy
+				res, err := sim.Run(rc)
+				if err != nil {
+					return err
+				}
+				ipcs[j] = res.Timing.IPC()
+			}
+			rows[i] = FigIPCRow{
+				Workload:     name,
+				Tournament:   1,
+				Tage:         ipcs[1] / ipcs[0],
+				TournamentPB: ipcs[2] / ipcs[0],
+				TagePB:       ipcs[3] / ipcs[0],
+			}
+			return nil
+		})
+	}
+	if err := runParallel(opt.parallel(), jobs); err != nil {
+		return nil, err
+	}
+	f := &FigIPC{Wide: core.Width, Rows: rows}
+	var tGains, gGains []float64
+	for _, r := range rows {
+		tg := r.TournamentPB / r.Tournament
+		gg := r.TagePB / r.Tage
+		tGains = append(tGains, tg)
+		gGains = append(gGains, gg)
+		if p := 100 * (tg - 1); p > f.MaxTournPBS {
+			f.MaxTournPBS = p
+		}
+		if p := 100 * (gg - 1); p > f.MaxTagePBS {
+			f.MaxTagePBS = p
+		}
+	}
+	f.AvgTournPBS = 100 * (geomean(tGains) - 1)
+	f.AvgTagePBS = 100 * (geomean(gGains) - 1)
+	return f, nil
+}
+
+// Figure7 reproduces Figure 7: normalized IPC on the 4-wide core.
+func Figure7(opt Options) (*FigIPC, error) { return figureIPC(opt, pipeline.FourWide()) }
+
+// Figure8 reproduces Figure 8: normalized IPC on the 8-wide core.
+func Figure8(opt Options) (*FigIPC, error) { return figureIPC(opt, pipeline.EightWide()) }
+
+func (f *FigIPC) String() string {
+	var sb strings.Builder
+	paper := "6.7%/17% TAGE, 9%/26% tournament"
+	if f.Wide == 8 {
+		paper = "10.8%/19% TAGE, 13.8%/25% tournament"
+	}
+	fmt.Fprintf(&sb, "Figure %d: normalized IPC, %d-wide core (paper avg/max gains: %s)\n",
+		map[int]int{4: 7, 8: 8}[f.Wide], f.Wide, paper)
+	header(&sb, "benchmark", "tournament", "tage-sc-l", "tourn+PBS", "tage+PBS")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-14s%-14.3f%-14.3f%-14.3f%-14.3f\n",
+			r.Workload, r.Tournament, r.Tage, r.TournamentPB, r.TagePB)
+	}
+	fmt.Fprintf(&sb, "PBS gain: tournament avg %.1f%% max %.1f%%; TAGE-SC-L avg %.1f%% max %.1f%%\n",
+		f.AvgTournPBS, f.MaxTournPBS, f.AvgTagePBS, f.MaxTagePBS)
+	return sb.String()
+}
+
+// Fig9Row is one benchmark of Figure 9.
+type Fig9Row struct {
+	Workload    string
+	MaxIncrease float64 // % increase of regular-branch MPKI due to interference
+	AvgIncrease float64
+}
+
+// Fig9 is the Figure 9 dataset.
+type Fig9 struct{ Rows []Fig9Row }
+
+// Figure9 reproduces Figure 9: negative interference of probabilistic
+// branches in the tournament predictor, measured by comparing
+// regular-branch MPKI with and without probabilistic branches accessing
+// the predictor, maximum over the seeds (the paper reports the maximum
+// across 7 seeds).
+func Figure9(opt Options) (*Fig9, error) {
+	names := workloadNames()
+	rows := make([]Fig9Row, len(names))
+	for i, name := range names {
+		increases := make([]float64, len(opt.Seeds))
+		var jobs []func() error
+		for s, seed := range opt.Seeds {
+			s, seed := s, seed
+			jobs = append(jobs, func() error {
+				withProb, err := sim.Run(baseRun(name, seed, opt.Scale, sim.PredTournament, false))
+				if err != nil {
+					return err
+				}
+				filtCfg := baseRun(name, seed, opt.Scale, sim.PredTournament, false)
+				filtCfg.FilterProb = true
+				filtered, err := sim.Run(filtCfg)
+				if err != nil {
+					return err
+				}
+				a := withProb.Timing.MPKIReg()
+				b := filtered.Timing.MPKIReg()
+				if b > 0 {
+					increases[s] = 100 * (a - b) / b
+				}
+				return nil
+			})
+		}
+		if err := runParallel(opt.parallel(), jobs); err != nil {
+			return nil, err
+		}
+		row := Fig9Row{Workload: name}
+		for _, inc := range increases {
+			if inc > row.MaxIncrease {
+				row.MaxIncrease = inc
+			}
+			row.AvgIncrease += inc / float64(len(increases))
+		}
+		rows[i] = row
+	}
+	return &Fig9{Rows: rows}, nil
+}
+
+func (f *Fig9) String() string {
+	var sb strings.Builder
+	sb.WriteString("Figure 9: regular-branch MPKI increase from probabilistic-branch interference\n")
+	sb.WriteString("(tournament predictor; max over seeds; paper: up to 5.8%, couple % average)\n")
+	header(&sb, "benchmark", "max incr %", "avg incr %")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&sb, "%-14s%-14.2f%-14.2f\n", r.Workload, r.MaxIncrease, r.AvgIncrease)
+	}
+	return sb.String()
+}

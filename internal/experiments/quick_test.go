@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQuickExperiments(t *testing.T) {
+	opt := QuickOptions()
+	opt.Seeds = opt.Seeds[:2]
+	f1, err := Figure1(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(f1)
+	f6, err := Figure6(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(f6)
+	f7, err := Figure7(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(f7)
+	fmt.Println(TableI())
+	t2, err := TableII(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(t2)
+	acc, err := Accuracy(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(acc)
+	fmt.Println(HardwareCost())
+	bc, err := BaselineComparison(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(bc)
+}

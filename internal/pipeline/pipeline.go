@@ -1,0 +1,495 @@
+// Package pipeline is the trace-driven out-of-order timing model of the
+// reproduction. It consumes the retired-instruction stream of the
+// functional emulator and computes cycle timing for an aggressive
+// superscalar core: fetch bandwidth with one taken branch per cycle,
+// front-end depth, ROB occupancy, register dataflow, functional unit
+// pools, a two-level cache hierarchy, and the 10-cycle front-end refill
+// penalty on branch mispredictions (§VI-B).
+//
+// Probabilistic branches steered by PBS never consult the predictor and
+// never pay the penalty; bootstrap and regular-mode probabilistic branches
+// are predicted like ordinary branches. The FilterProb mode implements the
+// negative-interference experiment of §VII-C.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Config fixes the core microarchitecture.
+type Config struct {
+	Width             int // fetch/issue/commit width
+	ROBSize           int
+	FrontendDepth     int // cycles between fetch and earliest issue
+	MispredictPenalty int // front-end refill cycles after branch resolution
+
+	IntALUs     int
+	FPUs        int
+	MemPorts    int
+	BranchUnits int
+
+	L1I, L1D, L2 cache.Config
+	MemLatency   int
+
+	// FilterProb removes probabilistic branches from predictor access and
+	// update (the Fig 9 interference experiment). Their mispredictions are
+	// neither counted nor penalised; regular-branch MPKI is the metric.
+	FilterProb bool
+
+	// PerfectBranches models an oracle front end: no branch ever
+	// mispredicts. An upper-bound ablation, not a realistic configuration.
+	PerfectBranches bool
+
+	// ResolutionPenalty selects how a misprediction's cost is charged.
+	// False (default) reproduces the mechanistic accounting of the
+	// paper's simulator (Sniper): fetch restarts MispredictPenalty cycles
+	// after the branch leaves the front end, modelling the squash +
+	// re-fill without charging the branch's full operand-dependence
+	// resolution time. True charges the honest dataflow cost: fetch
+	// restarts MispredictPenalty cycles after the branch actually
+	// executes, however deep its operand chain. The second model makes
+	// eliminating probabilistic branches — whose operands sit at the end
+	// of long random-value chains — even more valuable; it is reported as
+	// an ablation in EXPERIMENTS.md.
+	ResolutionPenalty bool
+}
+
+// FourWide is the paper's baseline core: 4-wide out-of-order, 168-entry
+// ROB (Sandy Bridge-like), 10-cycle misprediction penalty.
+func FourWide() Config {
+	return Config{
+		Width:             4,
+		ROBSize:           168,
+		FrontendDepth:     6,
+		MispredictPenalty: 10,
+		IntALUs:           4,
+		FPUs:              2,
+		MemPorts:          2,
+		BranchUnits:       1,
+		L1I:               cache.L1I32K(),
+		L1D:               cache.L1D32K(),
+		L2:                cache.L2Unified2M(),
+		MemLatency:        100,
+	}
+}
+
+// EightWide is the wider core of Fig 8: 8-wide, 256-entry ROB.
+func EightWide() Config {
+	c := FourWide()
+	c.Width = 8
+	c.ROBSize = 256
+	c.IntALUs = 8
+	c.FPUs = 4
+	c.MemPorts = 4
+	c.BranchUnits = 2
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Width < 1:
+		return fmt.Errorf("pipeline: Width must be >= 1")
+	case c.ROBSize < c.Width:
+		return fmt.Errorf("pipeline: ROBSize %d smaller than Width %d", c.ROBSize, c.Width)
+	case c.IntALUs < 1 || c.FPUs < 1 || c.MemPorts < 1 || c.BranchUnits < 1:
+		return fmt.Errorf("pipeline: all functional unit counts must be >= 1")
+	case c.MispredictPenalty < 0 || c.FrontendDepth < 0:
+		return fmt.Errorf("pipeline: negative pipeline depths")
+	}
+	return nil
+}
+
+// Metrics aggregates timing and branch statistics for one run.
+type Metrics struct {
+	Instructions uint64
+	Cycles       uint64
+
+	Branches     uint64 // all control transfers
+	CondBranches uint64 // conditional branches (incl. probabilistic)
+	ProbBranches uint64 // dynamic probabilistic (terminal PROB_JMP) branches
+	ProbSteered  uint64
+	ProbBoot     uint64
+	ProbRegular  uint64
+
+	Mispredicts     uint64 // total counted mispredictions
+	MispredictsProb uint64 // from probabilistic branches
+	MispredictsReg  uint64 // from regular branches
+
+	L1IMisses, L1DMisses, L2Misses uint64
+	L1IAccesses, L1DAccesses       uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (m Metrics) IPC() float64 {
+	if m.Cycles == 0 {
+		return 0
+	}
+	return float64(m.Instructions) / float64(m.Cycles)
+}
+
+// MPKI returns mispredictions per 1000 instructions.
+func (m Metrics) MPKI() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(m.Mispredicts) / float64(m.Instructions)
+}
+
+// MPKIProb returns probabilistic-branch mispredictions per 1000
+// instructions.
+func (m Metrics) MPKIProb() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(m.MispredictsProb) / float64(m.Instructions)
+}
+
+// MPKIReg returns regular-branch mispredictions per 1000 instructions.
+func (m Metrics) MPKIReg() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return 1000 * float64(m.MispredictsReg) / float64(m.Instructions)
+}
+
+// fuClass partitions instructions over functional unit pools.
+type fuClass uint8
+
+const (
+	fuALU fuClass = iota
+	fuMul
+	fuDiv
+	fuFP
+	fuFDiv
+	fuFLong
+	fuMem
+	fuBranch
+	numFUClasses
+)
+
+// classify maps an opcode to its functional unit class, result latency,
+// and unit occupancy (the cycles before the unit accepts another
+// operation; 1 = fully pipelined). Latencies follow a Sandy-Bridge-like
+// profile; the transcendental unit models the pipelined microcoded
+// sequences of a modern FPU rather than a blocking iterative unit, so
+// independent loop iterations overlap as they do on real hardware. Loads
+// add cache latency on top.
+func classify(op isa.Op) (class fuClass, lat, occ uint64) {
+	switch op {
+	case isa.MUL, isa.MULI:
+		return fuMul, 3, 1
+	case isa.DIV, isa.REM:
+		return fuDiv, 20, 12
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FMIN, isa.FMAX, isa.FNEG, isa.FABS,
+		isa.FFLOOR, isa.ITOF, isa.FTOI, isa.FCMP:
+		return fuFP, 4, 1
+	case isa.FDIV, isa.FSQRT:
+		return fuFDiv, 16, 8
+	case isa.FEXP, isa.FLN, isa.FSIN, isa.FCOS:
+		return fuFLong, 20, 2
+	case isa.RANDU, isa.RANDN, isa.RANDI:
+		// Hardware RNG: medium latency, pipelined.
+		return fuFLong, 8, 1
+	case isa.LD, isa.LDB, isa.ST, isa.STB:
+		return fuMem, 1, 1
+	case isa.JMP, isa.JEQ, isa.JNE, isa.JLT, isa.JLE, isa.JGT, isa.JGE,
+		isa.CALL, isa.RET, isa.PROBJMP:
+		return fuBranch, 1, 1
+	default:
+		return fuALU, 1, 1
+	}
+}
+
+// fuWindow is the backfill scheduler's time-ring size in cycles. It must
+// exceed the maximum spread of concurrently scheduled issue times (bounded
+// by the ROB-induced fetch window plus the longest latency); cells older
+// than one window are recycled lazily.
+const fuWindow = 1 << 14
+
+// fuSched models functional-unit contention with backfill, the way an
+// out-of-order scheduler fills idle issue slots: for every cycle and unit
+// class it counts operations in flight, and an operation issues at the
+// first cycle >= its ready time with a free unit for its whole occupancy.
+// A plain per-unit next-free-time reservation would serialise issue in
+// program order — an op stalled on operands would block younger,
+// already-ready ops from slots the hardware would happily give them.
+type fuSched struct {
+	units [numFUClasses]uint8
+	cells [numFUClasses][fuWindow]fuCell
+}
+
+type fuCell struct {
+	cycle uint64
+	count uint8
+}
+
+// schedule returns the issue cycle for an operation of the given class
+// that becomes ready at `ready` and occupies its unit for occ cycles.
+func (s *fuSched) schedule(class fuClass, ready, occ uint64) uint64 {
+	if occ > fuWindow/2 {
+		occ = fuWindow / 2
+	}
+	cap := s.units[class]
+	cells := &s.cells[class]
+	for t := ready; ; t++ {
+		ok := true
+		for k := uint64(0); k < occ; k++ {
+			c := &cells[(t+k)%fuWindow]
+			if c.cycle == t+k && c.count >= cap {
+				ok = false
+				t += k // skip past the congested cycle
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for k := uint64(0); k < occ; k++ {
+			c := &cells[(t+k)%fuWindow]
+			if c.cycle != t+k {
+				c.cycle = t + k
+				c.count = 0
+			}
+			c.count++
+		}
+		return t
+	}
+}
+
+// Pipeline is the timing model for one run. It implements the emulator's
+// Listener contract via OnRetire.
+type Pipeline struct {
+	cfg  Config
+	prog *isa.Program
+	pred branch.Predictor
+	hier *cache.Hierarchy
+
+	m Metrics
+
+	// fetch state
+	curFetchCycle     uint64
+	fetchedInCycle    int
+	breakFetch        bool // a taken branch ends the current fetch cycle
+	fetchBlockedUntil uint64
+
+	// dataflow
+	regReady [isa.NumDataflowRegs]uint64
+
+	// in-order structures (ring buffers)
+	robRing    []uint64 // commit cycle of instruction idx-ROBSize
+	commitRing []uint64 // commit cycle of instruction idx-Width
+	lastCommit uint64
+	idx        uint64
+
+	// functional units: backfill scheduler
+	fus fuSched
+
+	srcBuf []isa.Reg
+	dstBuf []isa.Reg
+
+	// DebugBlock, when set, is invoked whenever a misprediction pushes
+	// fetchBlockedUntil forward (diagnostics only).
+	DebugBlock func(pc int32, op isa.Op, execDone, until uint64)
+	// DebugInstr, when set, is invoked per instruction with its timing
+	// (diagnostics only).
+	DebugInstr func(pc int32, op isa.Op, fc, issue, execDone uint64)
+}
+
+// New builds a pipeline bound to a program, predictor and fresh caches.
+func New(cfg Config, prog *isa.Program, pred branch.Predictor) (*Pipeline, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	hier, err := cache.NewHierarchy(cfg.L1I, cfg.L1D, cfg.L2, cfg.MemLatency)
+	if err != nil {
+		return nil, err
+	}
+	p := &Pipeline{
+		cfg:        cfg,
+		prog:       prog,
+		pred:       pred,
+		hier:       hier,
+		robRing:    make([]uint64, cfg.ROBSize),
+		commitRing: make([]uint64, cfg.Width),
+		srcBuf:     make([]isa.Reg, 0, 4),
+		dstBuf:     make([]isa.Reg, 0, 2),
+	}
+	p.fus.units[fuALU] = uint8(cfg.IntALUs)
+	p.fus.units[fuMul] = 1
+	p.fus.units[fuDiv] = 1
+	p.fus.units[fuFP] = uint8(cfg.FPUs)
+	p.fus.units[fuFDiv] = 1
+	p.fus.units[fuFLong] = 1
+	p.fus.units[fuMem] = uint8(cfg.MemPorts)
+	p.fus.units[fuBranch] = uint8(cfg.BranchUnits)
+	return p, nil
+}
+
+// OnRetire consumes one retired instruction; pass it to emu.CPU.SetListener.
+func (p *Pipeline) OnRetire(di emu.DynInstr) {
+	ins := p.prog.Code[di.PC]
+
+	// ---- fetch ----
+	fc := p.curFetchCycle
+	if p.breakFetch || p.fetchedInCycle >= p.cfg.Width {
+		fc++
+		p.fetchedInCycle = 0
+		p.breakFetch = false
+	}
+	if p.fetchBlockedUntil > fc {
+		fc = p.fetchBlockedUntil
+		p.fetchedInCycle = 0
+	}
+	// ROB occupancy: the slot of instruction idx-ROBSize must have
+	// committed before this instruction can enter the window.
+	if p.idx >= uint64(p.cfg.ROBSize) {
+		if free := p.robRing[p.idx%uint64(p.cfg.ROBSize)]; free > fc {
+			fc = free
+			p.fetchedInCycle = 0
+		}
+	}
+	// Instruction cache.
+	p.m.L1IAccesses++
+	l1iMissBefore := p.hier.L1I.Misses
+	l2MissBefore := p.hier.L2.Misses
+	if lat := p.hier.InstrLatency(uint64(di.PC) * 8); lat > p.cfg.L1I.HitLatency {
+		fc += uint64(lat)
+		p.fetchedInCycle = 0
+	}
+	p.m.L1IMisses += p.hier.L1I.Misses - l1iMissBefore
+	p.m.L2Misses += p.hier.L2.Misses - l2MissBefore
+	if fc > p.curFetchCycle {
+		p.curFetchCycle = fc
+	}
+	p.fetchedInCycle++
+
+	// ---- issue / execute ----
+	issue := fc + uint64(p.cfg.FrontendDepth)
+	p.srcBuf = ins.SrcRegs(p.srcBuf[:0])
+	for _, r := range p.srcBuf {
+		if rr := p.regReady[r]; rr > issue {
+			issue = rr
+		}
+	}
+	class, lat, occ := classify(ins.Op)
+	issue = p.fus.schedule(class, issue, occ)
+
+	if ins.Op.IsLoad() || ins.Op.IsStore() {
+		l1dMissBefore := p.hier.L1D.Misses
+		l2MissBefore := p.hier.L2.Misses
+		dlat := p.hier.DataLatency(di.MemAddr)
+		p.m.L1DAccesses++
+		p.m.L1DMisses += p.hier.L1D.Misses - l1dMissBefore
+		p.m.L2Misses += p.hier.L2.Misses - l2MissBefore
+		if ins.Op.IsLoad() {
+			lat = uint64(dlat)
+		}
+		// Stores retire without blocking (write buffer); latency stays 1.
+	}
+	execDone := issue + lat
+
+	for _, dst := range ins.DstRegs(p.dstBuf[:0]) {
+		p.regReady[dst] = execDone
+	}
+	if p.DebugInstr != nil {
+		p.DebugInstr(di.PC, ins.Op, fc, issue, execDone)
+	}
+
+	// ---- branches ----
+	if ins.Op.IsBranch() {
+		p.handleBranch(di, ins, fc, execDone)
+	}
+
+	// ---- commit ----
+	cc := execDone + 1
+	if cc < p.lastCommit {
+		cc = p.lastCommit
+	}
+	if prev := p.commitRing[p.idx%uint64(p.cfg.Width)] + 1; cc < prev {
+		cc = prev
+	}
+	p.commitRing[p.idx%uint64(p.cfg.Width)] = cc
+	p.robRing[p.idx%uint64(p.cfg.ROBSize)] = cc
+	p.lastCommit = cc
+	if cc > p.m.Cycles {
+		p.m.Cycles = cc
+	}
+	p.idx++
+	p.m.Instructions++
+}
+
+// handleBranch performs prediction accounting and misprediction redirects.
+// fc is the branch's fetch cycle, execDone its execution-complete cycle.
+func (p *Pipeline) handleBranch(di emu.DynInstr, ins isa.Instr, fc, execDone uint64) {
+	p.m.Branches++
+	if _, hasTarget := ins.Target(int(di.PC)); !hasTarget && ins.Op == isa.PROBJMP {
+		return // intermediate value-transfer PROB_JMP: not a control transfer
+	}
+	if di.Taken {
+		p.breakFetch = true
+	}
+	if !ins.Op.IsCondBranch() {
+		// JMP/CALL/RET: target from BTB/RAS, assumed perfect.
+		return
+	}
+	p.m.CondBranches++
+	if p.cfg.PerfectBranches {
+		return
+	}
+
+	isProb := di.Prob != emu.ProbNone
+	if isProb {
+		p.m.ProbBranches++
+		switch di.Prob {
+		case emu.ProbSteered:
+			p.m.ProbSteered++
+			// Direction known at fetch (Prob-BTB): no prediction, no
+			// penalty, no predictor pollution.
+			return
+		case emu.ProbBootstrap:
+			p.m.ProbBoot++
+		case emu.ProbRegular:
+			p.m.ProbRegular++
+		}
+		if p.cfg.FilterProb {
+			// Interference experiment: probabilistic branches neither
+			// access nor update the predictor.
+			return
+		}
+	}
+
+	pred := p.pred.Predict(uint64(di.PC))
+	p.pred.Update(uint64(di.PC), di.Taken, pred)
+	if pred != di.Taken {
+		p.m.Mispredicts++
+		if isProb {
+			p.m.MispredictsProb++
+		} else {
+			p.m.MispredictsReg++
+		}
+		resolved := fc + uint64(p.cfg.FrontendDepth) + 1
+		if p.cfg.ResolutionPenalty || execDone < resolved {
+			resolved = execDone
+		}
+		redirect := resolved + uint64(p.cfg.MispredictPenalty)
+		if redirect > p.fetchBlockedUntil {
+			p.fetchBlockedUntil = redirect
+			if p.DebugBlock != nil {
+				p.DebugBlock(di.PC, ins.Op, execDone, redirect)
+			}
+		}
+	}
+}
+
+// Metrics returns the accumulated metrics. Call after the emulator run
+// completes.
+func (p *Pipeline) Metrics() Metrics { return p.m }
+
+// Caches exposes the cache hierarchy for inspection.
+func (p *Pipeline) Caches() *cache.Hierarchy { return p.hier }

@@ -1,0 +1,236 @@
+package progb
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestBasicProgram(t *testing.T) {
+	b := New("basic", false)
+	b.MovInt(1, 10)
+	b.MovFloat(2, 3.5)
+	b.Mov(3, 1)
+	b.Out(3)
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) != 5 {
+		t.Errorf("code length %d", len(p.Code))
+	}
+	if len(p.Consts) != 1 {
+		t.Errorf("constant pool: %v", p.Consts)
+	}
+}
+
+func TestMovIntWidths(t *testing.T) {
+	b := New("widths", false)
+	b.MovInt(1, 100)         // fits imm32 → MOVI
+	b.MovInt(2, 1<<40)       // needs the pool → LDC
+	b.MovInt(3, -(1 << 40))  // negative wide → LDC
+	b.MovInt(4, -2147483648) // MinInt32 → MOVI
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[0].Op != isa.MOVI || p.Code[1].Op != isa.LDC ||
+		p.Code[2].Op != isa.LDC || p.Code[3].Op != isa.MOVI {
+		t.Errorf("MovInt op selection: %v", p.Code[:4])
+	}
+}
+
+func TestConstInterning(t *testing.T) {
+	b := New("intern", false)
+	b.MovFloat(1, 2.5)
+	b.MovFloat(2, 2.5)
+	b.MovFloat(3, 7.5)
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Consts) != 2 {
+		t.Errorf("interning failed: %v", p.Consts)
+	}
+	if p.Code[0].Imm != p.Code[1].Imm {
+		t.Error("same constant got different pool slots")
+	}
+}
+
+func TestLabelsAndBranches(t *testing.T) {
+	b := New("labels", false)
+	b.Label("start")
+	b.MovInt(1, 1)
+	b.Jmp("end")
+	b.MovInt(1, 2) // skipped
+	b.Label("end")
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt, ok := p.Code[1].Target(1); !ok || tgt != 3 {
+		t.Errorf("jump target: %d %v", tgt, ok)
+	}
+	if p.Labels["end"] != 3 {
+		t.Errorf("label map: %v", p.Labels)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	b := New("dup", false)
+	b.Label("x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "duplicate label") {
+		t.Errorf("duplicate label: %v", err)
+	}
+
+	b = New("undef", false)
+	b.Jmp("nowhere")
+	b.Halt()
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "undefined label") {
+		t.Errorf("undefined label: %v", err)
+	}
+
+	b = New("badalloc", false)
+	b.Alloc(-1)
+	b.Halt()
+	if _, err := b.Finish(); err == nil {
+		t.Error("negative alloc accepted")
+	}
+
+	b = New("floatimm", false)
+	b.BranchIfI(isa.CmpLT|isa.CmpFloat, 1, 0, "x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Finish(); err == nil {
+		t.Error("float BranchIfI accepted")
+	}
+
+	b = New("probr0", true)
+	b.MarkedBranchIf(isa.CmpLT, 1, 2, []isa.Reg{isa.R0}, "x")
+	b.Label("x")
+	b.Halt()
+	if _, err := b.Finish(); err == nil {
+		t.Error("r0 probabilistic value accepted")
+	}
+
+	b = New("unaligned", false)
+	b.InitWord(3, 1)
+	b.Halt()
+	if _, err := b.Finish(); err == nil {
+		t.Error("unaligned data init accepted")
+	}
+}
+
+func TestMarkedBranchBothModes(t *testing.T) {
+	emit := func(prob bool) *isa.Program {
+		b := New("m", prob)
+		b.MovFloat(1, 0.5)
+		b.MovFloat(2, 0.25)
+		b.MarkedBranchIf(isa.CmpLT|isa.CmpFloat, 1, 2, nil, "taken")
+		b.MovInt(3, 1)
+		b.Label("taken")
+		b.Halt()
+		p, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	plain := emit(false)
+	if plain.Code[2].Op != isa.FCMP || plain.Code[3].Op != isa.JLT {
+		t.Errorf("plain mode: %v %v", plain.Code[2].Op, plain.Code[3].Op)
+	}
+	marked := emit(true)
+	if marked.Code[2].Op != isa.PROBCMP || marked.Code[3].Op != isa.PROBJMP {
+		t.Errorf("marked mode: %v %v", marked.Code[2].Op, marked.Code[3].Op)
+	}
+	if len(marked.ProbBranchPCs()) != 1 {
+		t.Error("marked program has no prob branch")
+	}
+}
+
+func TestMarkedBranchExtraValues(t *testing.T) {
+	b := New("vals", true)
+	b.MovFloat(1, 0.5)
+	b.MarkedBranchIf(isa.CmpGT|isa.CmpFloat, 1, 2, []isa.Reg{5, 6}, "t")
+	b.Label("t")
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PROBCMP + intermediate PROBJMP (r5, NoTarget) + terminal PROBJMP (r6).
+	if p.Code[1].Op != isa.PROBCMP {
+		t.Fatalf("missing PROBCMP: %v", p.Code)
+	}
+	if p.Code[2].Op != isa.PROBJMP || p.Code[2].Imm != isa.NoTarget || p.Code[2].Ra != 5 {
+		t.Errorf("intermediate PROBJMP wrong: %v", p.Code[2])
+	}
+	if p.Code[3].Op != isa.PROBJMP || p.Code[3].Imm == isa.NoTarget || p.Code[3].Ra != 6 {
+		t.Errorf("terminal PROBJMP wrong: %v", p.Code[3])
+	}
+}
+
+func TestAllocator(t *testing.T) {
+	b := New("alloc", false)
+	a1 := b.Alloc(10) // rounded to 16
+	a2 := b.AllocWords(2)
+	if a1 != 0 || a2 != 16 {
+		t.Errorf("allocator addresses: %d %d", a1, a2)
+	}
+	b.InitWord(a2, 99)
+	b.InitFloat(a2+8, 1.5)
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.MemSize < 32 {
+		t.Errorf("memory size %d", p.MemSize)
+	}
+	if p.DataInit[16] != 99 {
+		t.Errorf("data init: %v", p.DataInit)
+	}
+}
+
+func TestAutoLabelUnique(t *testing.T) {
+	b := New("auto", false)
+	l1 := b.AutoLabel("x")
+	l2 := b.AutoLabel("x")
+	if l1 == l2 {
+		t.Error("auto labels collide")
+	}
+}
+
+func TestForNShape(t *testing.T) {
+	b := New("forn", false)
+	b.MovInt(2, 5)
+	b.ForN(1, 2, func() {
+		b.AddI(3, 3, 1)
+	})
+	b.Halt()
+	p, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loop must close with a backward conditional branch (what the
+	// PBS loop detector keys on).
+	var sawBackward bool
+	for pc, ins := range p.Code {
+		if ins.Op.IsCondBranch() {
+			if tgt, ok := ins.Target(pc); ok && tgt < pc {
+				sawBackward = true
+			}
+		}
+	}
+	if !sawBackward {
+		t.Error("ForN emitted no backward conditional branch")
+	}
+}

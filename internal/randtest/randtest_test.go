@@ -1,0 +1,152 @@
+package randtest
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func goodStream(n int, seed uint64) []float64 {
+	r := rng.New(seed)
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	return vals
+}
+
+func TestClassifyThresholds(t *testing.T) {
+	cases := map[float64]Outcome{
+		0.5:      Pass,
+		0.01:     Pass,
+		0.004:    Weak,
+		0.996:    Weak,
+		1e-7:     Fail,
+		1 - 1e-7: Fail,
+		0:        Fail,
+		1:        Fail,
+	}
+	for p, want := range cases {
+		if got := Classify(p); got != want {
+			t.Errorf("Classify(%v) = %v want %v", p, got, want)
+		}
+	}
+	if Classify(math.NaN()) != Fail {
+		t.Error("NaN p-value must fail")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Pass.String() != "PASS" || Weak.String() != "WEAK" || Fail.String() != "FAIL" {
+		t.Error("outcome strings")
+	}
+}
+
+func TestEveryTestPassesGoodStream(t *testing.T) {
+	vals := goodStream(80000, 99)
+	for _, r := range RunBattery(vals) {
+		if r.Skipped {
+			t.Errorf("%s skipped on a large stream", r.Name)
+			continue
+		}
+		if r.Outcome == Fail {
+			t.Errorf("%s fails a good stream (p=%v)", r.Name, r.P)
+		}
+	}
+}
+
+// adversarial streams keyed to the defect each test family must detect.
+func TestIndividualTestsDetectDefects(t *testing.T) {
+	n := 60000
+	r := rng.New(1)
+
+	biased := make([]float64, n) // frequency defect: values in [0, 0.9)
+	for i := range biased {
+		biased[i] = r.Float64() * 0.9
+	}
+	sticky := make([]float64, n) // dependence defect: strong lag-1 correlation
+	prev := 0.5
+	for i := range sticky {
+		prev = math.Mod(prev*0.9+r.Float64()*0.1, 1)
+		sticky[i] = prev
+	}
+	alternating := make([]float64, n) // runs defect
+	for i := range alternating {
+		if i%2 == 0 {
+			alternating[i] = r.Float64() * 0.5
+		} else {
+			alternating[i] = 0.5 + r.Float64()*0.5
+		}
+	}
+
+	detect := func(name string, vals []float64, tests ...string) {
+		results := RunBattery(vals)
+		for _, want := range tests {
+			found := false
+			for _, res := range results {
+				if res.Name == want {
+					found = true
+					if res.Outcome == Pass {
+						t.Errorf("%s did not detect the %s defect (p=%v)", want, name, res.P)
+					}
+				}
+			}
+			if !found {
+				t.Fatalf("battery has no test named %s", want)
+			}
+		}
+	}
+
+	detect("bias", biased, "ks-uniform", "chi2-frequency-10", "monobit-b1")
+	detect("dependence", sticky, "autocorr-lag1", "runs-median")
+	detect("alternation", alternating, "runs-median", "serial-pairs-8")
+}
+
+func TestSummaryBookkeeping(t *testing.T) {
+	var s Summary
+	s.Add(Result{Outcome: Pass})
+	s.Add(Result{Outcome: Weak})
+	s.Add(Result{Outcome: Fail})
+	s.Add(Result{Skipped: true})
+	if s.Pass != 1 || s.Weak != 1 || s.Fail != 1 || s.Skipped != 1 || s.Total() != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+}
+
+func TestSmallSampleSkips(t *testing.T) {
+	results := RunBattery(goodStream(150, 2))
+	skipped := 0
+	for _, r := range results {
+		if r.Skipped {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Error("tiny sample skipped nothing")
+	}
+}
+
+func TestBatterySize(t *testing.T) {
+	// The battery should be a substantial suite (the paper's DieHarder
+	// run has 114 cases; ours is smaller but must stay non-trivial).
+	if n := len(Battery()); n < 20 {
+		t.Errorf("battery has only %d tests", n)
+	}
+}
+
+func TestLCGStreamBehaviour(t *testing.T) {
+	// The workloads' drand48-style LCG: top bits are decent; the battery
+	// should mostly pass it (it is the generator the paper's benchmarks
+	// use), with at most a few weak/fail cases.
+	state := uint64(0x1234)
+	vals := make([]float64, 60000)
+	for i := range vals {
+		state = (state*0x5DEECE66D + 0xB) & ((1 << 48) - 1)
+		vals[i] = float64(state) / (1 << 48)
+	}
+	s := Summarize(vals)
+	if s.Fail > 5 {
+		t.Errorf("drand48 stream fails too broadly: %+v", s)
+	}
+}

@@ -1,0 +1,40 @@
+package randtest
+
+import (
+	"fmt"
+	"repro/internal/rng"
+	"testing"
+)
+
+func TestBatterySanity(t *testing.T) {
+	r := rng.New(7)
+	vals := make([]float64, 60000)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	s := Summarize(vals)
+	fmt.Printf("good stream: %+v\n", s)
+	if s.Fail > 1 {
+		t.Errorf("too many failures on a good stream: %+v", s)
+	}
+	// Pathological stream: constant
+	bad := make([]float64, 60000)
+	for i := range bad {
+		bad[i] = 0.25
+	}
+	sb := Summarize(bad)
+	fmt.Printf("constant stream: %+v\n", sb)
+	if sb.Fail < 10 {
+		t.Errorf("constant stream should fail broadly: %+v", sb)
+	}
+	// Sorted stream (dependence)
+	inc := make([]float64, 60000)
+	for i := range inc {
+		inc[i] = float64(i) / 60000
+	}
+	si := Summarize(inc)
+	fmt.Printf("sorted stream: %+v\n", si)
+	if si.Fail < 5 {
+		t.Errorf("sorted stream should fail: %+v", si)
+	}
+}

@@ -1,0 +1,112 @@
+// Package rng provides the deterministic random-number substrate of the
+// simulated machine. The paper's benchmarks draw uniform and Gaussian
+// (Box-Muller) values; PBS's determinism argument (§III-B: fixing the seed
+// deterministically replays the algorithm) requires a fully reproducible
+// stream, which this package guarantees for any seed.
+package rng
+
+import "math"
+
+// Stream is a deterministic pseudo-random stream (xorshift64* seeded via
+// splitmix64). The zero value is not usable; construct with New.
+type Stream struct {
+	state uint64
+	// haveSpare / spare implement the classic Box-Muller pairing: each
+	// transform produces two normals; the second is buffered.
+	haveSpare bool
+	spare     float64
+	// Draws counts the uniform variates consumed (including those consumed
+	// internally by NormFloat64), so experiments can report RNG pressure.
+	Draws uint64
+}
+
+// New returns a stream seeded with seed. Seed 0 is remapped to a fixed
+// non-zero constant because xorshift has an all-zero fixed point.
+func New(seed uint64) *Stream {
+	s := &Stream{}
+	s.Seed(seed)
+	return s
+}
+
+// Seed resets the stream to the deterministic state derived from seed and
+// clears the Box-Muller spare.
+func (s *Stream) Seed(seed uint64) {
+	// splitmix64 of the seed gives a well-mixed initial state and maps
+	// seed 0 away from the xorshift fixed point.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x9e3779b97f4a7c15
+	}
+	s.state = z
+	s.haveSpare = false
+	s.spare = 0
+	s.Draws = 0
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (s *Stream) Uint64() uint64 {
+	x := s.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.state = x
+	s.Draws++
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform variate in [0, 1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Float64Open returns a uniform variate in (0, 1), never exactly zero —
+// the form Monte Carlo codes need before taking a logarithm (e.g. the
+// photon transport free-path draw -log(u)/σ).
+func (s *Stream) Float64Open() float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return u
+		}
+	}
+}
+
+// NormFloat64 returns a standard normal variate using the Box-Muller
+// transform, matching the gaussian_box_muller helper of the paper's
+// financial benchmarks. Each transform consumes two uniforms and yields
+// two normals; the second is buffered for the next call.
+func (s *Stream) NormFloat64() float64 {
+	if s.haveSpare {
+		s.haveSpare = false
+		return s.spare
+	}
+	u1 := s.Float64Open()
+	u2 := s.Float64()
+	r := math.Sqrt(-2 * math.Log(u1))
+	theta := 2 * math.Pi * u2
+	s.spare = r * math.Sin(theta)
+	s.haveSpare = true
+	return r * math.Cos(theta)
+}
+
+// Int63n returns a uniform integer in [0, n). n must be positive.
+func (s *Stream) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive bound")
+	}
+	if n&(n-1) == 0 { // power of two
+		return int64(s.Uint64() & uint64(n-1))
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := uint64(1)<<63 - 1
+	limit := max - max%uint64(n)
+	for {
+		v := s.Uint64() >> 1
+		if v < limit {
+			return int64(v % uint64(n))
+		}
+	}
+}

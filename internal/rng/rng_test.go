@@ -1,0 +1,160 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(123), New(123)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must produce the same stream")
+		}
+	}
+	a.Seed(123)
+	c := New(123)
+	if a.Float64() != c.Float64() {
+		t.Fatal("Seed must reset the stream")
+	}
+}
+
+func TestSeedZero(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("seed 0 must not be the xorshift fixed point")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed)
+		for i := 0; i < 100; i++ {
+			v := s.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	s := New(7)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean %.4f", mean)
+	}
+	if math.Abs(variance-1.0/12) > 0.01 {
+		t.Errorf("uniform variance %.4f", variance)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	var sum, sumSq, sumCube float64
+	for i := 0; i < n; i++ {
+		v := s.NormFloat64()
+		sum += v
+		sumSq += v * v
+		sumCube += v * v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	skew := sumCube / n
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean %.4f", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance %.4f", variance)
+	}
+	if math.Abs(skew) > 0.05 {
+		t.Errorf("normal skew %.4f", skew)
+	}
+}
+
+func TestFloat64Open(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		if s.Float64Open() <= 0 {
+			t.Fatal("Float64Open returned non-positive value")
+		}
+	}
+}
+
+func TestInt63n(t *testing.T) {
+	f := func(seed uint64, bound uint16) bool {
+		n := int64(bound%1000) + 1
+		s := New(seed)
+		for i := 0; i < 50; i++ {
+			v := s.Int63n(n)
+			if v < 0 || v >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Power-of-two fast path.
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		if v := s.Int63n(16); v < 0 || v >= 16 {
+			t.Fatal("power-of-two bound broken")
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("Int63n(0) must panic")
+		}
+	}()
+	s.Int63n(0)
+}
+
+func TestInt63nUniformity(t *testing.T) {
+	s := New(17)
+	const n, k = 120000, 6
+	counts := make([]int, k)
+	for i := 0; i < n; i++ {
+		counts[s.Int63n(k)]++
+	}
+	for c, got := range counts {
+		expected := float64(n) / k
+		if math.Abs(float64(got)-expected) > 5*math.Sqrt(expected) {
+			t.Errorf("bucket %d: %d vs expected %.0f", c, got, expected)
+		}
+	}
+}
+
+func TestDrawsCounter(t *testing.T) {
+	s := New(1)
+	s.Float64()
+	s.Float64()
+	if s.Draws != 2 {
+		t.Errorf("Draws = %d, want 2", s.Draws)
+	}
+	s.NormFloat64() // Box-Muller consumes two uniforms
+	if s.Draws != 4 {
+		t.Errorf("Draws after NormFloat64 = %d, want 4", s.Draws)
+	}
+	s.NormFloat64() // spare, no new draws
+	if s.Draws != 4 {
+		t.Errorf("Draws after spare = %d, want 4", s.Draws)
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim is the top-level simulation harness: it builds a workload
+// program, attaches the PBS unit and a branch predictor, runs the
+// functional emulator with the out-of-order timing model listening, and
+// returns the combined metrics. Every experiment in the paper's evaluation
+// (Figures 1, 6-9, Tables II-III, §VII-D) is a set of sim.Run calls.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/branch"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/pipeline"
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+// PredictorKind selects the front-end predictor.
+type PredictorKind string
+
+// Supported predictors.
+const (
+	PredTournament PredictorKind = "tournament"
+	PredTAGESCL    PredictorKind = "tage-sc-l"
+	PredAlways     PredictorKind = "always-taken"
+)
+
+// NewPredictor instantiates a predictor by kind.
+func NewPredictor(kind PredictorKind) (branch.Predictor, error) {
+	switch kind {
+	case PredTournament:
+		return branch.NewTournament(), nil
+	case PredTAGESCL:
+		return branch.NewTAGESCL(), nil
+	case PredAlways:
+		return branch.AlwaysTaken{}, nil
+	}
+	return nil, fmt.Errorf("sim: unknown predictor %q", kind)
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// Workload is the benchmark name (see workloads.Names).
+	Workload string
+	// Params scales the workload.
+	Params workloads.Params
+	// Seed seeds the machine RNG.
+	Seed uint64
+	// Predictor selects the front-end predictor.
+	Predictor PredictorKind
+	// PBS enables the PBS hardware (probabilistic instructions execute as
+	// regular branches when false).
+	PBS bool
+	// PBSConfig overrides the PBS hardware configuration; zero value means
+	// core.DefaultConfig.
+	PBSConfig *core.Config
+	// Core is the pipeline configuration; zero value means
+	// pipeline.FourWide.
+	Core *pipeline.Config
+	// FilterProb enables the Fig 9 interference experiment.
+	FilterProb bool
+	// CaptureProb records the probabilistic value streams (Table III).
+	CaptureProb bool
+	// MaxInstrs caps emulation (0 = run to completion).
+	MaxInstrs uint64
+	// Variant selects a Table I baseline build; VariantPlain runs the
+	// ordinary program.
+	Variant workloads.Variant
+	// SkipTiming runs only the functional emulator (for accuracy and
+	// randomness experiments, which need no pipeline).
+	SkipTiming bool
+}
+
+// Result bundles everything a run produced.
+type Result struct {
+	Workload string
+	Program  *isa.Program
+	Timing   pipeline.Metrics
+	Emu      emu.Stats
+	PBSStats core.Stats
+	Outputs  []uint64
+
+	// Generated and Consumed are the probabilistic value streams when
+	// CaptureProb was set.
+	Generated []float64
+	Consumed  []float64
+}
+
+// Run executes one configuration.
+func Run(cfg Config) (*Result, error) {
+	w, err := workloads.ByName(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	params := cfg.Params
+	if params.Scale == 0 {
+		params = workloads.DefaultParams()
+	}
+
+	var prog *isa.Program
+	switch cfg.Variant {
+	case workloads.VariantPlain:
+		prog, err = w.Build(params, true) // probabilistic marking is always present; PBS hardware decides
+	default:
+		build := w.BuildVariant[cfg.Variant]
+		if build == nil {
+			return nil, fmt.Errorf("sim: workload %s has no variant %d (inapplicable per Table I)", w.Name, cfg.Variant)
+		}
+		prog, err = build(params)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	var unit *core.Unit
+	if cfg.PBS {
+		pbsCfg := core.DefaultConfig()
+		if cfg.PBSConfig != nil {
+			pbsCfg = *cfg.PBSConfig
+		}
+		unit, err = core.NewUnit(pbsCfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cpu, err := emu.New(prog, rng.New(cfg.Seed), unit)
+	if err != nil {
+		return nil, err
+	}
+	cpu.CaptureProb = cfg.CaptureProb
+
+	var pipe *pipeline.Pipeline
+	if !cfg.SkipTiming {
+		pcfg := pipeline.FourWide()
+		if cfg.Core != nil {
+			pcfg = *cfg.Core
+		}
+		pcfg.FilterProb = cfg.FilterProb
+		predKind := cfg.Predictor
+		if predKind == "" {
+			predKind = PredTAGESCL
+		}
+		pred, err := NewPredictor(predKind)
+		if err != nil {
+			return nil, err
+		}
+		pipe, err = pipeline.New(pcfg, prog, pred)
+		if err != nil {
+			return nil, err
+		}
+		cpu.SetListener(pipe.OnRetire)
+	}
+
+	if err := cpu.Run(cfg.MaxInstrs); err != nil {
+		return nil, fmt.Errorf("sim: %s: %w", w.Name, err)
+	}
+
+	res := &Result{
+		Workload:  w.Name,
+		Program:   prog,
+		Emu:       cpu.Stats(),
+		Outputs:   cpu.Output(),
+		Generated: cpu.Generated,
+		Consumed:  cpu.Consumed,
+	}
+	if pipe != nil {
+		res.Timing = pipe.Metrics()
+	}
+	if unit != nil {
+		res.PBSStats = unit.Stats()
+	}
+	return res, nil
+}

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"fmt"
+	"repro/internal/workloads"
+	"testing"
+)
+
+func TestSmokeAll(t *testing.T) {
+	for _, name := range workloads.Names() {
+		var baseIPC float64
+		for _, pbs := range []bool{false, true} {
+			r, err := Run(Config{Workload: name, Seed: 42, PBS: pbs, Predictor: PredTAGESCL})
+			if err != nil {
+				t.Fatalf("%s pbs=%v: %v", name, pbs, err)
+			}
+			m := r.Timing
+			gain := ""
+			if pbs && baseIPC > 0 {
+				gain = fmt.Sprintf(" IPCgain=%+.1f%%", 100*(m.IPC()/baseIPC-1))
+			} else {
+				baseIPC = m.IPC()
+			}
+			fmt.Printf("%-10s pbs=%-5v instr=%8d IPC=%.3f MPKI=%.2f (prob %.2f, reg %.2f) steer=%d/%d%s\n",
+				name, pbs, m.Instructions, m.IPC(), m.MPKI(), m.MPKIProb(), m.MPKIReg(),
+				m.ProbSteered, m.ProbBranches, gain)
+		}
+	}
+}

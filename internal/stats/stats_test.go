@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMoments(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("mean %v", m)
+	}
+	if v := Variance(xs); math.Abs(v-32.0/7) > 1e-12 {
+		t.Errorf("variance %v", v)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Error("degenerate cases")
+	}
+}
+
+func TestRMS(t *testing.T) {
+	r, err := RMS([]float64{1, 2}, []float64{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r-5/math.Sqrt2) > 1e-12 {
+		t.Errorf("rms %v", r)
+	}
+	if _, err := RMS([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	xs := []float64{9.8, 10.2, 10.0, 9.9, 10.1}
+	m, iv := MeanCI95(xs)
+	if math.Abs(m-10) > 1e-9 {
+		t.Errorf("mean %v", m)
+	}
+	if !iv.Contains(10) || iv.Contains(11) {
+		t.Errorf("interval %v", iv)
+	}
+	// Known value: half-width = t(4) * s / sqrt(5) with s ≈ 0.158.
+	half := (iv.Hi - iv.Lo) / 2
+	want := 2.776 * StdDev(xs) / math.Sqrt(5)
+	if math.Abs(half-want) > 1e-9 {
+		t.Errorf("half-width %v want %v", half, want)
+	}
+}
+
+func TestIntervalOverlap(t *testing.T) {
+	a := Interval{1, 3}
+	if !a.Overlaps(Interval{2, 5}) || !a.Overlaps(Interval{3, 4}) || a.Overlaps(Interval{3.1, 4}) {
+		t.Error("overlap logic broken")
+	}
+}
+
+func TestProportionCI95(t *testing.T) {
+	iv := ProportionCI95(8, 10)
+	if !iv.Contains(0.8) || iv.Lo < 0.4 || iv.Hi > 1.0001 {
+		t.Errorf("Wilson interval %v", iv)
+	}
+	if iv0 := ProportionCI95(0, 10); iv0.Lo != 0 || !iv0.Contains(0) {
+		t.Errorf("zero-successes interval %v", iv0)
+	}
+	if ivAll := ProportionCI95(10, 10); ivAll.Hi != 1 {
+		t.Errorf("all-successes interval %v", ivAll)
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := map[float64]float64{0: 0.5, 1.96: 0.975, -1.96: 0.025, 3: 0.99865}
+	for x, want := range cases {
+		if got := NormalCDF(x); math.Abs(got-want) > 1e-3 {
+			t.Errorf("Phi(%v) = %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestChiSquareP(t *testing.T) {
+	// Known quantiles: chi2(0.95; df=10) ≈ 18.307.
+	if p := ChiSquareP(18.307, 10); math.Abs(p-0.05) > 1e-3 {
+		t.Errorf("chi2 p %v want 0.05", p)
+	}
+	if p := ChiSquareP(3.841, 1); math.Abs(p-0.05) > 1e-3 {
+		t.Errorf("chi2 df1 p %v want 0.05", p)
+	}
+	if p := ChiSquareP(0, 5); p != 1 {
+		t.Errorf("chi2(0) p %v", p)
+	}
+	if !math.IsNaN(ChiSquareP(-1, 5)) || !math.IsNaN(ChiSquareP(1, 0)) {
+		t.Error("invalid arguments not NaN")
+	}
+}
+
+func TestKSUniformP(t *testing.T) {
+	// A genuinely uniform sample: p should not be tiny.
+	r := rng.New(2)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = r.Float64()
+	}
+	if p := KSUniformP(xs); p < 0.001 {
+		t.Errorf("uniform sample rejected: p=%v", p)
+	}
+	// A clearly non-uniform sample: p must be tiny.
+	for i := range xs {
+		xs[i] = r.Float64() * 0.5
+	}
+	if p := KSUniformP(xs); p > 1e-6 {
+		t.Errorf("half-range sample accepted: p=%v", p)
+	}
+}
+
+func TestPValuesUniformUnderNull(t *testing.T) {
+	// Property: chi-square p-values of true-null data are themselves
+	// roughly uniform — a meta-check of the CDF implementations.
+	r := rng.New(5)
+	var ps []float64
+	for trial := 0; trial < 200; trial++ {
+		counts := make([]float64, 10)
+		for i := 0; i < 1000; i++ {
+			counts[int(r.Float64()*10)]++
+		}
+		chi2 := 0.0
+		for _, c := range counts {
+			d := c - 100
+			chi2 += d * d / 100
+		}
+		ps = append(ps, ChiSquareP(chi2, 9))
+	}
+	sort.Float64s(ps)
+	// Median near 0.5, few extreme values.
+	med := ps[len(ps)/2]
+	if med < 0.3 || med > 0.7 {
+		t.Errorf("null p-value median %v", med)
+	}
+}
+
+func TestPoissonCDF(t *testing.T) {
+	if p := PoissonCDF(0, 1); math.Abs(p-math.Exp(-1)) > 1e-12 {
+		t.Errorf("Poisson(0;1) = %v", p)
+	}
+	if p := PoissonCDF(100, 2); math.Abs(p-1) > 1e-9 {
+		t.Errorf("Poisson tail = %v", p)
+	}
+	if PoissonCDF(-1, 2) != 0 {
+		t.Error("negative k")
+	}
+}
+
+func TestRankUniformize(t *testing.T) {
+	out := RankUniformize([]float64{10, -5, 3})
+	// -5 -> rank 0, 3 -> rank 1, 10 -> rank 2 of n=3.
+	want := []float64{2.5 / 3, 0.5 / 3, 1.5 / 3}
+	for i := range want {
+		if math.Abs(out[i]-want[i]) > 1e-12 {
+			t.Errorf("rank[%d] = %v want %v", i, out[i], want[i])
+		}
+	}
+	// Ties get the average rank.
+	tied := RankUniformize([]float64{1, 1})
+	if tied[0] != tied[1] {
+		t.Errorf("ties: %v", tied)
+	}
+	// Property: output is a permutation-invariant monotone map into (0,1).
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) {
+				return true
+			}
+		}
+		out := RankUniformize(xs)
+		for i := range xs {
+			if out[i] <= 0 || out[i] >= 1 {
+				return false
+			}
+			for j := range xs {
+				if xs[i] < xs[j] && out[i] >= out[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantile(t *testing.T) {
+	if TQuantile95(1) != 12.706 || TQuantile95(30) != 2.042 || TQuantile95(100) != 1.96 {
+		t.Error("t table broken")
+	}
+	if !math.IsInf(TQuantile95(0), 1) {
+		t.Error("df=0 must be infinite")
+	}
+}

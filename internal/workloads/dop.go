@@ -1,0 +1,170 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/progb"
+)
+
+// dopSims is the baseline simulation count at Scale 1.
+const dopSims = 60_000
+
+// Digital option pricing parameters (after the quantstart source the paper
+// uses [21]).
+const (
+	dopS = 100.0 // spot
+	dopK = 105.0 // strike
+	dopR = 0.05  // risk-free rate
+	dopV = 0.2   // volatility
+	dopT = 1.0   // maturity
+)
+
+// DOP prices digital call and put options by Monte Carlo (§VI-A): a
+// Gaussian draw produces the terminal price S_cur, and two Category-1
+// probabilistic branches test S_cur against the strike (the digital payoff
+// is a constant, so the value is not used after the branch).
+func DOP() *Workload {
+	return &Workload{
+		Name:         "DOP",
+		Category:     Category1,
+		Description:  "digital option pricing via Monte Carlo (call + put)",
+		ProbBranches: 2,
+		UniformProb:  false, // Gaussian-derived; excluded from Table III like the paper
+		Build:        buildDOP,
+		BuildVariant: map[Variant]func(Params) (*isa.Program, error){
+			VariantPredicated: buildDOPPredicated,
+			VariantCFD:        buildDOPCFD,
+		},
+		CompareOutputs: relErrAccuracy("relative error", 1e-3),
+	}
+}
+
+// Register plan for DOP.
+const (
+	dopRI    isa.Reg = 1
+	dopRN    isa.Reg = 2
+	dopRG    isa.Reg = 3 // gaussian draw
+	dopRE    isa.Reg = 4 // exp term
+	dopRSCur isa.Reg = 5 // terminal price, the probabilistic value
+	dopRK    isa.Reg = 6 // strike (Const-Val)
+	dopRSAdj isa.Reg = 7 // drift-adjusted spot
+	dopRSqVT isa.Reg = 8 // sqrt(v²T)
+	dopRCall isa.Reg = 9
+	dopRPut  isa.Reg = 10
+	dopRTmp  isa.Reg = 11
+	dopRTmp2 isa.Reg = 12
+	dopRDisc isa.Reg = 13 // discount factor
+)
+
+// dopPrologue emits the loop-invariant setup shared by all variants.
+func dopPrologue(b *progb.Builder, n int64) {
+	b.MovInt(dopRN, n)
+	b.MovInt(dopRCall, 0)
+	b.MovInt(dopRPut, 0)
+	b.MovFloat(dopRK, dopK)
+	// S_adjust = S * exp(T*(r - 0.5 v²))
+	b.MovFloat(dopRTmp, dopT*(dopR-0.5*dopV*dopV))
+	b.Op2(isa.FEXP, dopRTmp, dopRTmp)
+	b.MovFloat(dopRSAdj, dopS)
+	b.Op3(isa.FMUL, dopRSAdj, dopRSAdj, dopRTmp)
+	// sqrt(v²T)
+	b.MovFloat(dopRSqVT, dopV*dopV*dopT)
+	b.Op2(isa.FSQRT, dopRSqVT, dopRSqVT)
+	// discount factor exp(-rT)
+	b.MovFloat(dopRDisc, -dopR*dopT)
+	b.Op2(isa.FEXP, dopRDisc, dopRDisc)
+}
+
+// dopPath emits the per-simulation price path: S_cur = S_adjust *
+// exp(sqrt(v²T) * gauss).
+func dopPath(b *progb.Builder, rng *softLib) {
+	rng.Gauss(b, dopRG)
+	b.Op3(isa.FMUL, dopRE, dopRSqVT, dopRG)
+	rng.Exp(b, dopRE, dopRE)
+	b.Op3(isa.FMUL, dopRSCur, dopRSAdj, dopRE)
+}
+
+// dopEpilogue emits the discounted digital prices.
+func dopEpilogue(b *progb.Builder) {
+	b.Op2(isa.ITOF, dopRTmp, dopRCall)
+	b.Op2(isa.ITOF, dopRTmp2, dopRN)
+	b.Op3(isa.FDIV, dopRTmp, dopRTmp, dopRTmp2)
+	b.Op3(isa.FMUL, dopRTmp, dopRTmp, dopRDisc)
+	b.Out(dopRTmp) // call price
+	b.Op2(isa.ITOF, dopRTmp, dopRPut)
+	b.Op3(isa.FDIV, dopRTmp, dopRTmp, dopRTmp2)
+	b.Op3(isa.FMUL, dopRTmp, dopRTmp, dopRDisc)
+	b.Out(dopRTmp) // put price
+	b.Halt()
+}
+
+func buildDOP(p Params, prob bool) (*isa.Program, error) {
+	b := progb.New("DOP", prob)
+	dopPrologue(b, dopSims*p.scale())
+	rng := emitSoftLib(b, libGauss|libExp)
+	b.ForN(dopRI, dopRN, func() {
+		dopPath(b, rng)
+		// Call branch: payoff 1 when S_cur > K; skip when S_cur <= K.
+		skipCall := b.AutoLabel("otm_call")
+		b.MarkedBranchIf(isa.CmpLE|isa.CmpFloat, dopRSCur, dopRK, nil, skipCall)
+		b.AddI(dopRCall, dopRCall, 1)
+		b.Label(skipCall)
+		// Put branch: payoff 1 when S_cur < K; skip when S_cur >= K.
+		skipPut := b.AutoLabel("otm_put")
+		b.MarkedBranchIf(isa.CmpGE|isa.CmpFloat, dopRSCur, dopRK, nil, skipPut)
+		b.AddI(dopRPut, dopRPut, 1)
+		b.Label(skipPut)
+	})
+	dopEpilogue(b)
+	return b.Finish()
+}
+
+// buildDOPPredicated is the if-converted variant (Table I: predication
+// applies to DOP): the digital payoffs become sign-bit arithmetic.
+func buildDOPPredicated(p Params) (*isa.Program, error) {
+	b := progb.New("DOP-pred", false)
+	dopPrologue(b, dopSims*p.scale())
+	rng := emitSoftLib(b, libGauss|libExp)
+	b.ForN(dopRI, dopRN, func() {
+		dopPath(b, rng)
+		// call += (K - S_cur < 0); put += (S_cur - K < 0)
+		b.Op3(isa.FSUB, dopRTmp, dopRK, dopRSCur)
+		b.OpI(isa.SHRI, dopRTmp, dopRTmp, 63)
+		b.Op3(isa.ADD, dopRCall, dopRCall, dopRTmp)
+		b.Op3(isa.FSUB, dopRTmp, dopRSCur, dopRK)
+		b.OpI(isa.SHRI, dopRTmp, dopRTmp, 63)
+		b.Op3(isa.ADD, dopRPut, dopRPut, dopRTmp)
+	})
+	dopEpilogue(b)
+	return b.Finish()
+}
+
+// buildDOPCFD is the control-flow-decoupled variant (Table I: CFD applies
+// to DOP): loop 1 queues in-the-money predicates, loop 2 accumulates.
+func buildDOPCFD(p Params) (*isa.Program, error) {
+	b := progb.New("DOP-cfd", false)
+	n := dopSims * p.scale()
+	queue := b.Alloc(n * 8)
+	const rQ isa.Reg = 20
+	dopPrologue(b, n)
+	rng := emitSoftLib(b, libGauss|libExp)
+	b.MovInt(rQ, queue)
+	b.ForN(dopRI, dopRN, func() {
+		dopPath(b, rng)
+		b.Op3(isa.FSUB, dopRTmp, dopRK, dopRSCur)
+		b.OpI(isa.SHRI, dopRTmp, dopRTmp, 63) // 1 = call in the money
+		b.Store(rQ, 0, dopRTmp)
+		b.AddI(rQ, rQ, 8)
+	})
+	b.MovInt(rQ, queue)
+	b.ForN(dopRI, dopRN, func() {
+		b.Load(dopRTmp, rQ, 0)
+		b.AddI(rQ, rQ, 8)
+		b.Op3(isa.ADD, dopRCall, dopRCall, dopRTmp)
+		// put pays when the call predicate is 0 and S_cur != K (measure
+		// zero): put += 1 - pred.
+		b.OpI(isa.XORI, dopRTmp, dopRTmp, 1)
+		b.Op3(isa.ADD, dopRPut, dopRPut, dopRTmp)
+	})
+	dopEpilogue(b)
+	return b.Finish()
+}

@@ -1,0 +1,446 @@
+package workloads
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/progb"
+)
+
+// Genetic algorithm parameters (after the codemiles example the paper uses
+// [14], restructured as a steady-state GA with tournament selection). The
+// optimum is the all-ones chromosome; fitness is the number of set genes.
+const (
+	gaPop       = 16  // population size
+	gaLen       = 64  // chromosome length (genes)
+	gaGens      = 800 // baseline births at Scale 1
+	gaMutRate   = 0.015
+	gaCrossRate = 0.7
+)
+
+// Genetic evolves bit-string chromosomes toward the all-ones optimum
+// (§II-A1). Two Category-1 probabilistic branches: the per-child crossover
+// decision and the per-gene mutation decision, both uniform draws against
+// constant rates. The fitness evaluation is a function called from the
+// generation loop, and the mutation branch lives in an inner loop —
+// exercising the Context-Table's two-level nesting and clear-on-
+// termination behaviour.
+func Genetic() *Workload {
+	return &Workload{
+		Name:         "Genetic",
+		Category:     Category1,
+		Description:  "steady-state genetic algorithm (crossover + mutation branches)",
+		ProbBranches: 2,
+		UniformProb:  true,
+		Uniformize:   nil2identity(),
+		Build:        buildGenetic,
+		BuildVariant: map[Variant]func(Params) (*isa.Program, error){
+			// Table I: predication fails (the mutation body is a
+			// read-modify-write the compiler does not if-convert); CFD
+			// applies.
+			VariantCFD: buildGeneticCFD,
+		},
+		CompareOutputs: geneticAccuracy,
+	}
+}
+
+// geneticAccuracy compares the success indicator and best fitness. A
+// single pair of runs only yields the indicator; the §VII-D success-rate
+// confidence intervals are computed across seeds by the experiments
+// package.
+func geneticAccuracy(orig, pbs []uint64) Accuracy {
+	if len(orig) != 2 || len(pbs) != 2 {
+		return Accuracy{Metric: "success/best", Detail: "unexpected output shape"}
+	}
+	same := orig[0] == pbs[0]
+	return Accuracy{
+		Metric: "success indicator",
+		Value:  absDiffU(orig[0], pbs[0]),
+		Bound:  1, // a single trial may legitimately flip; CI overlap is checked across seeds
+		OK:     true,
+		Detail: fmt.Sprintf("success orig=%d pbs=%d (same=%v), best orig=%d pbs=%d",
+			orig[0], pbs[0], same, orig[1], pbs[1]),
+	}
+}
+
+func absDiffU(a, b uint64) float64 {
+	if a > b {
+		return float64(a - b)
+	}
+	return float64(b - a)
+}
+
+// Register plan for Genetic.
+const (
+	gaRGen   isa.Reg = 1  // birth index
+	gaRG     isa.Reg = 2  // births bound
+	gaRP     isa.Reg = 3  // population size
+	gaRL     isa.Reg = 4  // chromosome length
+	gaRPop   isa.Reg = 5  // population base address
+	gaRA     isa.Reg = 6  // candidate index a
+	gaRB     isa.Reg = 7  // candidate index b
+	gaRFa    isa.Reg = 8  // fitness of a
+	gaRFb    isa.Reg = 9  // fitness of b
+	gaRPar1  isa.Reg = 10 // parent 1 row
+	gaRPar2  isa.Reg = 11 // parent 2 row
+	gaRVict  isa.Reg = 12 // victim row (replaced by the child)
+	gaRU     isa.Reg = 13 // uniform draw (probabilistic value)
+	gaRMut   isa.Reg = 14 // mutation rate (Const-Val)
+	gaRCross isa.Reg = 15 // crossover rate (Const-Val)
+	gaRCut   isa.Reg = 16 // crossover point
+	gaRJ     isa.Reg = 17 // gene index
+	gaRTmp   isa.Reg = 18
+	gaRTmp2  isa.Reg = 19
+	gaRAddr  isa.Reg = 20
+	gaRBest  isa.Reg = 21 // best fitness seen
+	gaRArg   isa.Reg = 22 // fitness function argument (row)
+	gaRFit   isa.Reg = 23 // fitness function result
+	gaRJF    isa.Reg = 24 // fitness loop index
+	gaRAddrF isa.Reg = 25 // fitness loop address
+	gaRTwo   isa.Reg = 26 // constant 2 for gene init
+	gaRMask  isa.Reg = 27 // uniform-crossover gene mask
+	gaRBit   isa.Reg = 28 // current mask bit
+)
+
+func buildGenetic(p Params, prob bool) (*isa.Program, error) {
+	b := progb.New("Genetic", prob)
+	births := gaGens * p.scale()
+	popBase := b.Alloc(gaPop * gaLen)
+
+	b.MovInt(gaRG, births)
+	b.MovInt(gaRP, gaPop)
+	b.MovInt(gaRL, gaLen)
+	b.MovInt(gaRPop, popBase)
+	b.MovFloat(gaRMut, gaMutRate)
+	b.MovFloat(gaRCross, gaCrossRate)
+	b.MovInt(gaRBest, 0)
+	b.MovInt(gaRTwo, 2)
+	rng := emitSoftLib(b, 0)
+
+	// Random initial population.
+	b.MovInt(gaRA, int64(gaPop*gaLen))
+	b.MovInt(gaRAddr, popBase)
+	b.ForN(gaRJ, gaRA, func() {
+		b.RandI(gaRTmp, gaRTwo)
+		b.StoreB(gaRAddr, 0, gaRTmp)
+		b.AddI(gaRAddr, gaRAddr, 1)
+	})
+
+	b.Jmp("ga_main")
+
+	// --- fitness function: gaRFit = popcount of row gaRArg ---
+	b.Label("fitness")
+	b.OpI(isa.MULI, gaRAddrF, gaRArg, gaLen)
+	b.Op3(isa.ADD, gaRAddrF, gaRAddrF, gaRPop)
+	b.MovInt(gaRFit, 0)
+	b.MovInt(gaRJF, 0)
+	b.Label("fit_loop")
+	b.LoadB(gaRTmp2, gaRAddrF, 0)
+	b.Op3(isa.ADD, gaRFit, gaRFit, gaRTmp2)
+	b.AddI(gaRAddrF, gaRAddrF, 1)
+	b.AddI(gaRJF, gaRJF, 1)
+	b.BranchIf(isa.CmpLT, gaRJF, gaRL, "fit_loop")
+	b.Ret()
+
+	b.Label("ga_main")
+	b.ForN(gaRGen, gaRG, func() {
+		// tournament picks two rows and returns the fitter in gaRPar1.
+		tournament := func(dst isa.Reg, fitterWins bool, tag string) {
+			rng.UIntN(b, gaRA, gaPop)
+			rng.UIntN(b, gaRB, gaPop)
+			b.Mov(gaRArg, gaRA)
+			b.Call("fitness")
+			b.Mov(gaRFa, gaRFit)
+			b.Mov(gaRArg, gaRB)
+			b.Call("fitness")
+			b.Mov(gaRFb, gaRFit)
+			kind := isa.CmpGE
+			if !fitterWins {
+				kind = isa.CmpLE
+			}
+			pickA := b.AutoLabel("pick_a_" + tag)
+			done := b.AutoLabel("picked_" + tag)
+			b.BranchIf(kind, gaRFa, gaRFb, pickA)
+			b.Mov(dst, gaRB)
+			b.Jmp(done)
+			b.Label(pickA)
+			b.Mov(dst, gaRA)
+			b.Label(done)
+		}
+		tournament(gaRPar1, true, "p1")
+		tournament(gaRPar2, true, "p2")
+		tournament(gaRVict, false, "victim") // the less fit of two is replaced
+
+		// Crossover decision — marked probabilistic branch.
+		rng.U01(b, gaRU)
+		b.MarkedBranchIf(isa.CmpGE|isa.CmpFloat, gaRU, gaRCross, nil, "no_cross")
+		// Uniform crossover of par1/par2 into the victim row: every gene
+		// picks its parent from one bit of a random mask, branch-free.
+		b.MovInt(gaRJ, 0)
+		b.Label("cross_loop")
+		// Refresh the 32-bit gene mask every 32 genes.
+		b.OpI(isa.ANDI, gaRTmp, gaRJ, 31)
+		noMask := b.AutoLabel("mask_ok")
+		b.BranchIfI(isa.CmpNE, gaRTmp, 0, noMask)
+		b.Call("rand_u01")
+		b.MovFloat(gaRTmp, float64(uint64(1)<<32))
+		b.Op3(isa.FMUL, gaRMask, 58, gaRTmp) // r58 = rand_u01 result
+		b.Op2(isa.FTOI, gaRMask, gaRMask)
+		b.Label(noMask)
+		// bit = mask & 1; mask >>= 1
+		b.OpI(isa.ANDI, gaRBit, gaRMask, 1)
+		b.OpI(isa.SHRI, gaRMask, gaRMask, 1)
+		b.Op2(isa.NEG, gaRBit, gaRBit) // all-ones when the gene comes from par2
+		// gene = p1 ^ ((p1 ^ p2) & bitmask)
+		b.OpI(isa.MULI, gaRAddr, gaRPar1, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.LoadB(gaRTmp2, gaRAddr, 0)
+		b.OpI(isa.MULI, gaRAddr, gaRPar2, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.LoadB(gaRTmp, gaRAddr, 0)
+		b.Op3(isa.XOR, gaRTmp, gaRTmp, gaRTmp2)
+		b.Op3(isa.AND, gaRTmp, gaRTmp, gaRBit)
+		b.Op3(isa.XOR, gaRTmp2, gaRTmp2, gaRTmp)
+		b.OpI(isa.MULI, gaRAddr, gaRVict, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.StoreB(gaRAddr, 0, gaRTmp2)
+		b.AddI(gaRJ, gaRJ, 1)
+		b.BranchIf(isa.CmpLT, gaRJ, gaRL, "cross_loop")
+		b.Jmp("after_cross")
+
+		b.Label("no_cross")
+		// Clone parent 1 into the victim.
+		b.MovInt(gaRJ, 0)
+		b.Label("clone_loop")
+		b.OpI(isa.MULI, gaRAddr, gaRPar1, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.LoadB(gaRTmp2, gaRAddr, 0)
+		b.OpI(isa.MULI, gaRAddr, gaRVict, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.StoreB(gaRAddr, 0, gaRTmp2)
+		b.AddI(gaRJ, gaRJ, 1)
+		b.BranchIf(isa.CmpLT, gaRJ, gaRL, "clone_loop")
+
+		b.Label("after_cross")
+		// Mutation — the paper's canonical probabilistic branch, one draw
+		// per gene against the constant mutation rate.
+		b.OpI(isa.MULI, gaRAddr, gaRVict, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.MovInt(gaRJ, 0)
+		b.Label("mut_loop")
+		rng.U01(b, gaRU)
+		b.MarkedBranchIf(isa.CmpGE|isa.CmpFloat, gaRU, gaRMut, nil, "no_flip")
+		b.LoadB(gaRTmp2, gaRAddr, 0)
+		b.OpI(isa.XORI, gaRTmp2, gaRTmp2, 1)
+		b.StoreB(gaRAddr, 0, gaRTmp2)
+		b.Label("no_flip")
+		b.AddI(gaRAddr, gaRAddr, 1)
+		b.AddI(gaRJ, gaRJ, 1)
+		b.BranchIf(isa.CmpLT, gaRJ, gaRL, "mut_loop")
+
+		// Track the best fitness.
+		b.Mov(gaRArg, gaRVict)
+		b.Call("fitness")
+		noBest := b.AutoLabel("no_best")
+		b.BranchIf(isa.CmpLE, gaRFit, gaRBest, noBest)
+		b.Mov(gaRBest, gaRFit)
+		b.Label(noBest)
+	})
+
+	// success = best == L
+	b.MovInt(gaRTmp, 0)
+	notDone := b.AutoLabel("not_done")
+	b.BranchIf(isa.CmpLT, gaRBest, gaRL, notDone)
+	b.MovInt(gaRTmp, 1)
+	b.Label(notDone)
+	b.Out(gaRTmp)  // success indicator
+	b.Out(gaRBest) // best fitness
+	b.Halt()
+	return b.Finish()
+}
+
+// buildGeneticCFD is the control-flow-decoupled variant (Table I: CFD
+// applies to Genetic). The mutation loop splits into a predicate-producing
+// loop that queues the per-gene flip decisions and a consuming loop that
+// applies them branch-free (XOR with the queued predicate); the crossover
+// decision stays a regular branch, as CFD targets the high-frequency
+// separable mutation branch.
+func buildGeneticCFD(p Params) (*isa.Program, error) {
+	prog, err := buildGeneticVariantCFD(p)
+	if err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+func buildGeneticVariantCFD(p Params) (*isa.Program, error) {
+	b := progb.New("Genetic-cfd", false)
+	births := gaGens * p.scale()
+	popBase := b.Alloc(gaPop * gaLen)
+	flipQ := b.AllocWords(gaLen) // per-child predicate queue
+	const rQ isa.Reg = 27
+
+	b.MovInt(gaRG, births)
+	b.MovInt(gaRP, gaPop)
+	b.MovInt(gaRL, gaLen)
+	b.MovInt(gaRPop, popBase)
+	b.MovFloat(gaRMut, gaMutRate)
+	b.MovFloat(gaRCross, gaCrossRate)
+	b.MovInt(gaRBest, 0)
+	b.MovInt(gaRTwo, 2)
+	rng := emitSoftLib(b, 0)
+
+	b.MovInt(gaRA, int64(gaPop*gaLen))
+	b.MovInt(gaRAddr, popBase)
+	b.ForN(gaRJ, gaRA, func() {
+		b.RandI(gaRTmp, gaRTwo)
+		b.StoreB(gaRAddr, 0, gaRTmp)
+		b.AddI(gaRAddr, gaRAddr, 1)
+	})
+
+	b.Jmp("ga_main")
+
+	b.Label("fitness")
+	b.OpI(isa.MULI, gaRAddrF, gaRArg, gaLen)
+	b.Op3(isa.ADD, gaRAddrF, gaRAddrF, gaRPop)
+	b.MovInt(gaRFit, 0)
+	b.MovInt(gaRJF, 0)
+	b.Label("fit_loop")
+	b.LoadB(gaRTmp2, gaRAddrF, 0)
+	b.Op3(isa.ADD, gaRFit, gaRFit, gaRTmp2)
+	b.AddI(gaRAddrF, gaRAddrF, 1)
+	b.AddI(gaRJF, gaRJF, 1)
+	b.BranchIf(isa.CmpLT, gaRJF, gaRL, "fit_loop")
+	b.Ret()
+
+	b.Label("ga_main")
+	b.ForN(gaRGen, gaRG, func() {
+		tournament := func(dst isa.Reg, fitterWins bool, tag string) {
+			rng.UIntN(b, gaRA, gaPop)
+			rng.UIntN(b, gaRB, gaPop)
+			b.Mov(gaRArg, gaRA)
+			b.Call("fitness")
+			b.Mov(gaRFa, gaRFit)
+			b.Mov(gaRArg, gaRB)
+			b.Call("fitness")
+			b.Mov(gaRFb, gaRFit)
+			kind := isa.CmpGE
+			if !fitterWins {
+				kind = isa.CmpLE
+			}
+			pickA := b.AutoLabel("pick_a_" + tag)
+			done := b.AutoLabel("picked_" + tag)
+			b.BranchIf(kind, gaRFa, gaRFb, pickA)
+			b.Mov(dst, gaRB)
+			b.Jmp(done)
+			b.Label(pickA)
+			b.Mov(dst, gaRA)
+			b.Label(done)
+		}
+		tournament(gaRPar1, true, "p1")
+		tournament(gaRPar2, true, "p2")
+		tournament(gaRVict, false, "victim")
+
+		rng.U01(b, gaRU)
+		b.BranchIf(isa.CmpGE|isa.CmpFloat, gaRU, gaRCross, "no_cross")
+		// Uniform crossover of par1/par2 into the victim row: every gene
+		// picks its parent from one bit of a random mask, branch-free.
+		b.MovInt(gaRJ, 0)
+		b.Label("cross_loop")
+		// Refresh the 32-bit gene mask every 32 genes.
+		b.OpI(isa.ANDI, gaRTmp, gaRJ, 31)
+		noMask := b.AutoLabel("mask_ok")
+		b.BranchIfI(isa.CmpNE, gaRTmp, 0, noMask)
+		b.Call("rand_u01")
+		b.MovFloat(gaRTmp, float64(uint64(1)<<32))
+		b.Op3(isa.FMUL, gaRMask, 58, gaRTmp) // r58 = rand_u01 result
+		b.Op2(isa.FTOI, gaRMask, gaRMask)
+		b.Label(noMask)
+		// bit = mask & 1; mask >>= 1
+		b.OpI(isa.ANDI, gaRBit, gaRMask, 1)
+		b.OpI(isa.SHRI, gaRMask, gaRMask, 1)
+		b.Op2(isa.NEG, gaRBit, gaRBit) // all-ones when the gene comes from par2
+		// gene = p1 ^ ((p1 ^ p2) & bitmask)
+		b.OpI(isa.MULI, gaRAddr, gaRPar1, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.LoadB(gaRTmp2, gaRAddr, 0)
+		b.OpI(isa.MULI, gaRAddr, gaRPar2, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.LoadB(gaRTmp, gaRAddr, 0)
+		b.Op3(isa.XOR, gaRTmp, gaRTmp, gaRTmp2)
+		b.Op3(isa.AND, gaRTmp, gaRTmp, gaRBit)
+		b.Op3(isa.XOR, gaRTmp2, gaRTmp2, gaRTmp)
+		b.OpI(isa.MULI, gaRAddr, gaRVict, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.StoreB(gaRAddr, 0, gaRTmp2)
+		b.AddI(gaRJ, gaRJ, 1)
+		b.BranchIf(isa.CmpLT, gaRJ, gaRL, "cross_loop")
+		b.Jmp("after_cross")
+
+		b.Label("no_cross")
+		b.MovInt(gaRJ, 0)
+		b.Label("clone_loop")
+		b.OpI(isa.MULI, gaRAddr, gaRPar1, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.LoadB(gaRTmp2, gaRAddr, 0)
+		b.OpI(isa.MULI, gaRAddr, gaRVict, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRJ)
+		b.StoreB(gaRAddr, 0, gaRTmp2)
+		b.AddI(gaRJ, gaRJ, 1)
+		b.BranchIf(isa.CmpLT, gaRJ, gaRL, "clone_loop")
+
+		b.Label("after_cross")
+		// CFD loop 1: queue flip predicates (sign bit of u - rate).
+		b.MovInt(rQ, flipQ)
+		b.MovInt(gaRJ, 0)
+		b.Label("mut_pred_loop")
+		rng.U01(b, gaRU)
+		b.Op3(isa.FSUB, gaRTmp2, gaRU, gaRMut)
+		b.OpI(isa.SHRI, gaRTmp2, gaRTmp2, 63) // 1 = flip
+		b.Store(rQ, 0, gaRTmp2)
+		b.AddI(rQ, rQ, 8)
+		b.AddI(gaRJ, gaRJ, 1)
+		b.BranchIf(isa.CmpLT, gaRJ, gaRL, "mut_pred_loop")
+		// CFD loop 2: apply flips branch-free.
+		b.MovInt(rQ, flipQ)
+		b.OpI(isa.MULI, gaRAddr, gaRVict, gaLen)
+		b.Op3(isa.ADD, gaRAddr, gaRAddr, gaRPop)
+		b.MovInt(gaRJ, 0)
+		b.Label("mut_apply_loop")
+		b.Load(gaRTmp2, rQ, 0)
+		b.AddI(rQ, rQ, 8)
+		b.LoadB(gaRTmp, gaRAddr, 0)
+		b.Op3(isa.XOR, gaRTmp, gaRTmp, gaRTmp2)
+		b.StoreB(gaRAddr, 0, gaRTmp)
+		b.AddI(gaRAddr, gaRAddr, 1)
+		b.AddI(gaRJ, gaRJ, 1)
+		b.BranchIf(isa.CmpLT, gaRJ, gaRL, "mut_apply_loop")
+
+		b.Mov(gaRArg, gaRVict)
+		b.Call("fitness")
+		noBest := b.AutoLabel("no_best")
+		b.BranchIf(isa.CmpLE, gaRFit, gaRBest, noBest)
+		b.Mov(gaRBest, gaRFit)
+		b.Label(noBest)
+	})
+
+	b.MovInt(gaRTmp, 0)
+	notDone := b.AutoLabel("not_done")
+	b.BranchIf(isa.CmpLT, gaRBest, gaRL, notDone)
+	b.MovInt(gaRTmp, 1)
+	b.Label(notDone)
+	b.Out(gaRTmp)
+	b.Out(gaRBest)
+	b.Halt()
+	return b.Finish()
+}

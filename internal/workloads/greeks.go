@@ -1,0 +1,228 @@
+package workloads
+
+import (
+	"repro/internal/isa"
+	"repro/internal/progb"
+)
+
+// greeksSims is the baseline simulation count at Scale 1.
+const greeksSims = 45_000
+
+// Greeks parameters (after the quantstart source [15]).
+const (
+	gkS  = 100.0
+	gkK  = 100.0
+	gkR  = 0.05
+	gkV  = 0.2
+	gkT  = 1.0
+	gkDS = 1.0 // spot bump for the finite differences
+)
+
+// Greeks computes a vanilla call price together with Delta and Gamma by
+// finite differences over a shared Monte Carlo path (§II-A2): one Gaussian
+// draw prices three spots (S-dS, S, S+dS), and each payoff test is a
+// Category-2 probabilistic branch — the terminal price is consumed by the
+// payoff accumulation after the branch. The base-spot branch additionally
+// carries the Gaussian draw as a second probabilistic value (a control
+// variate accumulated in the money), exercising the SwapTable.
+func Greeks() *Workload {
+	return &Workload{
+		Name:         "Greeks",
+		Category:     Category2,
+		Description:  "Monte Carlo Greeks (price/delta/gamma) with finite differences",
+		ProbBranches: 3,
+		UniformProb:  false, // Gaussian-derived; excluded from Table III like the paper
+		Build:        buildGreeks,
+		BuildVariant: map[Variant]func(Params) (*isa.Program, error){
+			// Predication inapplicable (Table I): the control-dependent
+			// accumulation uses the live value, which our if-converter
+			// (like GCC's) does not transform.
+			VariantCFD: buildGreeksCFD,
+		},
+		CompareOutputs: relErrAccuracy("relative error", 1e-3),
+	}
+}
+
+// Register plan for Greeks.
+const (
+	gkRI    isa.Reg = 1
+	gkRN    isa.Reg = 2
+	gkRG    isa.Reg = 3  // gaussian draw (second probabilistic value)
+	gkRE    isa.Reg = 4  // shared exp term
+	gkRS    isa.Reg = 5  // terminal price at spot S
+	gkRSp   isa.Reg = 6  // terminal price at spot S+dS
+	gkRSm   isa.Reg = 7  // terminal price at spot S-dS
+	gkRK    isa.Reg = 8  // strike (Const-Val)
+	gkRAdj  isa.Reg = 9  // drift-adjusted S
+	gkRAdjP isa.Reg = 10 // drift-adjusted S+dS
+	gkRAdjM isa.Reg = 11 // drift-adjusted S-dS
+	gkRSqVT isa.Reg = 12
+	gkRPay  isa.Reg = 13 // payoff sum at S
+	gkRPayP isa.Reg = 14 // payoff sum at S+dS
+	gkRPayM isa.Reg = 15 // payoff sum at S-dS
+	gkRCV   isa.Reg = 16 // control-variate sum of gaussians in the money
+	gkRTmp  isa.Reg = 17
+	gkRTmp2 isa.Reg = 18
+	gkRDisc isa.Reg = 19
+)
+
+func greeksPrologue(b *progb.Builder, n int64) {
+	b.MovInt(gkRN, n)
+	b.MovFloat(gkRK, gkK)
+	b.MovFloat(gkRPay, 0)
+	b.MovFloat(gkRPayP, 0)
+	b.MovFloat(gkRPayM, 0)
+	b.MovFloat(gkRCV, 0)
+	b.MovFloat(gkRTmp, gkT*(gkR-0.5*gkV*gkV))
+	b.Op2(isa.FEXP, gkRTmp, gkRTmp)
+	b.MovFloat(gkRAdj, gkS)
+	b.Op3(isa.FMUL, gkRAdj, gkRAdj, gkRTmp)
+	b.MovFloat(gkRAdjP, gkS+gkDS)
+	b.Op3(isa.FMUL, gkRAdjP, gkRAdjP, gkRTmp)
+	b.MovFloat(gkRAdjM, gkS-gkDS)
+	b.Op3(isa.FMUL, gkRAdjM, gkRAdjM, gkRTmp)
+	b.MovFloat(gkRSqVT, gkV*gkV*gkT)
+	b.Op2(isa.FSQRT, gkRSqVT, gkRSqVT)
+	b.MovFloat(gkRDisc, -gkR*gkT)
+	b.Op2(isa.FEXP, gkRDisc, gkRDisc)
+}
+
+// greeksPath emits the shared path: one Gaussian prices all three spots.
+func greeksPath(b *progb.Builder, rng *softLib) {
+	rng.Gauss(b, gkRG)
+	b.Op3(isa.FMUL, gkRE, gkRSqVT, gkRG)
+	rng.Exp(b, gkRE, gkRE)
+	b.Op3(isa.FMUL, gkRS, gkRAdj, gkRE)
+	b.Op3(isa.FMUL, gkRSp, gkRAdjP, gkRE)
+	b.Op3(isa.FMUL, gkRSm, gkRAdjM, gkRE)
+}
+
+// greeksEpilogue emits discounted price, delta and gamma.
+func greeksEpilogue(b *progb.Builder) {
+	b.Op2(isa.ITOF, gkRTmp2, gkRN)
+	mean := func(sum isa.Reg) {
+		b.Op3(isa.FDIV, gkRTmp, sum, gkRTmp2)
+		b.Op3(isa.FMUL, gkRTmp, gkRTmp, gkRDisc)
+	}
+	mean(gkRPay)
+	b.Out(gkRTmp) // price
+	// delta = (payP - payM) / (2 dS n) discounted
+	b.Op3(isa.FSUB, gkRTmp, gkRPayP, gkRPayM)
+	b.Op3(isa.FDIV, gkRTmp, gkRTmp, gkRTmp2)
+	b.Op3(isa.FMUL, gkRTmp, gkRTmp, gkRDisc)
+	b.MovFloat(gkRE, 2*gkDS)
+	b.Op3(isa.FDIV, gkRTmp, gkRTmp, gkRE)
+	b.Out(gkRTmp) // delta
+	// gamma = (payP - 2 pay + payM) / (dS² n) discounted
+	b.Op3(isa.FADD, gkRTmp, gkRPayP, gkRPayM)
+	b.Op3(isa.FSUB, gkRTmp, gkRTmp, gkRPay)
+	b.Op3(isa.FSUB, gkRTmp, gkRTmp, gkRPay)
+	b.Op3(isa.FDIV, gkRTmp, gkRTmp, gkRTmp2)
+	b.Op3(isa.FMUL, gkRTmp, gkRTmp, gkRDisc)
+	b.MovFloat(gkRE, gkDS*gkDS)
+	b.Op3(isa.FDIV, gkRTmp, gkRTmp, gkRE)
+	b.Out(gkRTmp) // gamma
+	b.Out(gkRCV)  // control-variate sum (exposes the 2nd swapped value)
+	b.Halt()
+}
+
+func buildGreeks(p Params, prob bool) (*isa.Program, error) {
+	b := progb.New("Greeks", prob)
+	greeksPrologue(b, greeksSims*p.scale())
+	rng := emitSoftLib(b, libGauss|libExp)
+	b.ForN(gkRI, gkRN, func() {
+		greeksPath(b, rng)
+		// Branch 1 (base spot, two probabilistic values: S and the
+		// Gaussian): skip when out of the money.
+		skip := b.AutoLabel("otm")
+		b.MarkedBranchIf(isa.CmpLE|isa.CmpFloat, gkRS, gkRK, []isa.Reg{gkRG}, skip)
+		b.Op3(isa.FSUB, gkRTmp, gkRS, gkRK)
+		b.Op3(isa.FADD, gkRPay, gkRPay, gkRTmp)
+		b.Op3(isa.FADD, gkRCV, gkRCV, gkRG)
+		b.Label(skip)
+		// Branch 2 (bumped-up spot).
+		skipP := b.AutoLabel("otm_p")
+		b.MarkedBranchIf(isa.CmpLE|isa.CmpFloat, gkRSp, gkRK, nil, skipP)
+		b.Op3(isa.FSUB, gkRTmp, gkRSp, gkRK)
+		b.Op3(isa.FADD, gkRPayP, gkRPayP, gkRTmp)
+		b.Label(skipP)
+		// Branch 3 (bumped-down spot).
+		skipM := b.AutoLabel("otm_m")
+		b.MarkedBranchIf(isa.CmpLE|isa.CmpFloat, gkRSm, gkRK, nil, skipM)
+		b.Op3(isa.FSUB, gkRTmp, gkRSm, gkRK)
+		b.Op3(isa.FADD, gkRPayM, gkRPayM, gkRTmp)
+		b.Label(skipM)
+	})
+	greeksEpilogue(b)
+	return b.Finish()
+}
+
+// buildGreeksCFD is the control-flow-decoupled variant (Table I: CFD
+// applies to Greeks). Loop 1 computes the branch predicates and queues
+// them with the data values the consuming code needs; loop 2 consumes the
+// queue. In real CFD the consumer's branch decision comes from the queue
+// head and never mispredicts; the model realises the same effect with
+// branch-free masked accumulation, keeping CFD's extra push/pop and loop
+// overhead visible.
+func buildGreeksCFD(p Params) (*isa.Program, error) {
+	b := progb.New("Greeks-cfd", false)
+	n := greeksSims * p.scale()
+	queue := b.Alloc(n * 5 * 8)
+	const (
+		rQ    isa.Reg = 20
+		rPred isa.Reg = 21
+		rMask isa.Reg = 22
+	)
+	greeksPrologue(b, n)
+	rng := emitSoftLib(b, libGauss|libExp)
+	b.MovInt(rQ, queue)
+	b.ForN(gkRI, gkRN, func() {
+		greeksPath(b, rng)
+		// Predicates: bit k set when the k-th branch is in the money.
+		b.Op3(isa.FSUB, gkRTmp, gkRK, gkRS)
+		b.OpI(isa.SHRI, rPred, gkRTmp, 63)
+		b.Op3(isa.FSUB, gkRTmp, gkRK, gkRSp)
+		b.OpI(isa.SHRI, gkRTmp, gkRTmp, 63)
+		b.OpI(isa.SHLI, gkRTmp, gkRTmp, 1)
+		b.Op3(isa.OR, rPred, rPred, gkRTmp)
+		b.Op3(isa.FSUB, gkRTmp, gkRK, gkRSm)
+		b.OpI(isa.SHRI, gkRTmp, gkRTmp, 63)
+		b.OpI(isa.SHLI, gkRTmp, gkRTmp, 2)
+		b.Op3(isa.OR, rPred, rPred, gkRTmp)
+		b.Store(rQ, 0, gkRS)
+		b.Store(rQ, 8, gkRSp)
+		b.Store(rQ, 16, gkRSm)
+		b.Store(rQ, 24, gkRG)
+		b.Store(rQ, 32, rPred)
+		b.AddI(rQ, rQ, 40)
+	})
+	b.MovInt(rQ, queue)
+	// maskedAdd accumulates (val - K) into sum when predicate bit `bit` is
+	// set, branch-free: the all-ones/all-zero mask selects the addend.
+	maskedAdd := func(sum, val isa.Reg, bit int32) {
+		b.OpI(isa.SHRI, rMask, rPred, bit)
+		b.OpI(isa.ANDI, rMask, rMask, 1)
+		b.Op2(isa.NEG, rMask, rMask)
+		b.Op3(isa.FSUB, gkRTmp, val, gkRK)
+		b.Op3(isa.AND, gkRTmp, gkRTmp, rMask)
+		b.Op3(isa.FADD, sum, sum, gkRTmp)
+	}
+	b.ForN(gkRI, gkRN, func() {
+		b.Load(gkRS, rQ, 0)
+		b.Load(gkRSp, rQ, 8)
+		b.Load(gkRSm, rQ, 16)
+		b.Load(gkRG, rQ, 24)
+		b.Load(rPred, rQ, 32)
+		b.AddI(rQ, rQ, 40)
+		maskedAdd(gkRPay, gkRS, 0)
+		maskedAdd(gkRPayP, gkRSp, 1)
+		maskedAdd(gkRPayM, gkRSm, 2)
+		// Control variate: cv += G when branch 1 is in the money.
+		b.OpI(isa.ANDI, rMask, rPred, 1)
+		b.Op2(isa.NEG, rMask, rMask)
+		b.Op3(isa.AND, gkRTmp, gkRG, rMask)
+		b.Op3(isa.FADD, gkRCV, gkRCV, gkRTmp)
+	})
+	greeksEpilogue(b)
+	return b.Finish()
+}

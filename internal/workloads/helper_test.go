@@ -1,0 +1,14 @@
+package workloads
+
+import "repro/internal/core"
+
+func newUnitOrNil(pbs bool) *core.Unit {
+	if !pbs {
+		return nil
+	}
+	u, err := core.NewUnit(core.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	return u
+}

@@ -1,0 +1,266 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/progb"
+)
+
+// softLib emits the software runtime the paper's benchmarks actually
+// execute: drand48-style uniform random numbers with memory-resident
+// state, the Marsaglia polar gaussian (quantstart's gaussian_box_muller),
+// and polynomial exp/ln kernels standing in for libm. Emitting these as
+// real called functions matters for fidelity three ways:
+//
+//   - the per-draw / per-transcendental instruction footprint matches the
+//     compiled binaries the paper simulates, so probabilistic branch
+//     density — and therefore the MPKI and IPC impact of PBS — lands in
+//     the paper's range;
+//   - the polar method's rejection loop contributes the regular
+//     hard-to-predict branches Figure 1 shows for the financial codes;
+//   - calls into the runtime from loop bodies exercise the Context-Table
+//     call-depth tracking of §V-C1 on every iteration.
+//
+// The LCG seed is initialised from one hardware RANDU draw, keeping runs
+// deterministic per machine seed.
+//
+// Register conventions (block r40-r59, never used by workload code):
+//
+//	r40      argument of fm_exp / fm_ln
+//	r41      result of fm_exp / fm_ln
+//	r42-r45  scratch for the math kernels
+//	r48      link-register save slot of rand_gauss
+//	r50-r52  LCG state / multiplier / 2^-48 scale
+//	r53,r54  float constants 1.0 and 2.0
+//	r55,r56  polar method x and s
+//	r57      address of the memory-resident RNG state
+//	r58      result of rand_u01
+//	r59      result of rand_gauss
+type softLib struct {
+	hasGauss bool
+	hasExp   bool
+	hasLn    bool
+}
+
+// Library feature flags for emitSoftLib.
+const (
+	libGauss = 1 << iota
+	libExp
+	libLn
+)
+
+// softLib register conventions.
+const (
+	slArg    isa.Reg = 40
+	slRes    isa.Reg = 41
+	slT0     isa.Reg = 42
+	slT1     isa.Reg = 43
+	slT2     isa.Reg = 44
+	slT3     isa.Reg = 45
+	slLRSave isa.Reg = 48
+	slState  isa.Reg = 50
+	slMul    isa.Reg = 51
+	slScale  isa.Reg = 52
+	slOne    isa.Reg = 53
+	slTwo    isa.Reg = 54
+	slX      isa.Reg = 55
+	slS      isa.Reg = 56
+	slSAddr  isa.Reg = 57
+	slU      isa.Reg = 58
+	slG      isa.Reg = 59
+)
+
+// drand48 constants.
+const (
+	lcgMul  = 0x5DEECE66D
+	lcgAdd  = 0xB
+	lcgBits = 48
+)
+
+// emitSoftLib emits the runtime prologue (constants, RNG seeding) at the
+// current position, then the requested library functions (jumped over),
+// and returns the call helpers. Gauss implies Ln.
+func emitSoftLib(b *progb.Builder, features int) *softLib {
+	l := &softLib{
+		hasGauss: features&libGauss != 0,
+		hasExp:   features&libExp != 0,
+		hasLn:    features&(libLn|libGauss) != 0,
+	}
+	stateAddr := b.Alloc(8)
+
+	// Prologue: constants and seed.
+	b.MovInt(slMul, lcgMul)
+	b.MovFloat(slScale, 1.0/(1<<lcgBits))
+	b.MovFloat(slOne, 1.0)
+	b.MovFloat(slTwo, 2.0)
+	b.MovInt(slSAddr, stateAddr)
+	b.RandU(slT0) // hardware seed draw
+	b.MovFloat(slT1, 1<<lcgBits)
+	b.Op3(isa.FMUL, slT0, slT0, slT1)
+	b.Op2(isa.FTOI, slT0, slT0)
+	b.Store(slSAddr, 0, slT0)
+
+	skip := b.AutoLabel("softlib_end")
+	b.Jmp(skip)
+	l.emitU01(b)
+	if l.hasLn {
+		l.emitLn(b)
+	}
+	if l.hasExp {
+		l.emitExp(b)
+	}
+	if l.hasGauss {
+		l.emitGauss(b)
+	}
+	b.Label(skip)
+	return l
+}
+
+// emitU01 emits rand_u01: the drand48 step with memory-resident state,
+// result in r58. Leaf function.
+func (l *softLib) emitU01(b *progb.Builder) {
+	b.Label("rand_u01")
+	b.Load(slState, slSAddr, 0)
+	b.Op3(isa.MUL, slState, slState, slMul)
+	b.AddI(slState, slState, lcgAdd)
+	b.OpI(isa.SHLI, slState, slState, 64-lcgBits)
+	b.OpI(isa.SHRI, slState, slState, 64-lcgBits)
+	b.Store(slSAddr, 0, slState)
+	b.Op2(isa.ITOF, slU, slState)
+	b.Op3(isa.FMUL, slU, slU, slScale)
+	b.Ret()
+}
+
+// emitGauss emits rand_gauss: the Marsaglia polar method, result in r59.
+// The rejection test is a genuinely random regular branch (≈21.5% taken)
+// exactly like the one inside the paper's gaussian helpers; it stays
+// unmarked because its body re-executes the draw — PBS targets the payoff
+// branches, not the sampler.
+func (l *softLib) emitGauss(b *progb.Builder) {
+	b.Label("rand_gauss")
+	b.Mov(slLRSave, isa.LR)
+	head := b.AutoLabel("polar")
+	b.Label(head)
+	b.Call("rand_u01")
+	b.Op3(isa.FMUL, slX, slU, slTwo)
+	b.Op3(isa.FSUB, slX, slX, slOne) // x = 2u-1
+	b.Call("rand_u01")
+	b.Op3(isa.FMUL, slG, slU, slTwo)
+	b.Op3(isa.FSUB, slG, slG, slOne) // y = 2u-1
+	b.Op3(isa.FMUL, slS, slX, slX)
+	b.Op3(isa.FMUL, slT0, slG, slG)
+	b.Op3(isa.FADD, slS, slS, slT0) // s = x²+y²
+	b.BranchIf(isa.CmpGE|isa.CmpFloat, slS, slOne, head)
+	// Reject s == 0 as well (+0.0 has all-zero bits).
+	b.BranchIfI(isa.CmpEQ, slS, 0, head)
+	b.Mov(slArg, slS)
+	b.Call("fm_ln")
+	b.Op3(isa.FMUL, slRes, slRes, slTwo)
+	b.Op2(isa.FNEG, slRes, slRes) // -2 ln s
+	b.Op3(isa.FDIV, slRes, slRes, slS)
+	b.Op2(isa.FSQRT, slRes, slRes) // sqrt(-2 ln s / s)
+	b.Op3(isa.FMUL, slG, slRes, slX)
+	b.Mov(isa.LR, slLRSave)
+	b.Ret()
+}
+
+// emitExp emits fm_exp: e^x for |x| ≲ 30 via 2^k · e^r range reduction
+// and a degree-8 Taylor polynomial (relative error < 1e-10 on the
+// workloads' argument ranges). Arg r40, result r41, leaf.
+func (l *softLib) emitExp(b *progb.Builder) {
+	b.Label("fm_exp")
+	// k = floor(x·log2(e) + 0.5)
+	b.MovFloat(slT0, math.Log2E)
+	b.Op3(isa.FMUL, slT0, slArg, slT0)
+	b.MovFloat(slT1, 0.5)
+	b.Op3(isa.FADD, slT0, slT0, slT1)
+	b.Op2(isa.FFLOOR, slT0, slT0) // k (float)
+	// r = x - k·ln2
+	b.MovFloat(slT1, math.Ln2)
+	b.Op3(isa.FMUL, slT1, slT0, slT1)
+	b.Op3(isa.FSUB, slT1, slArg, slT1) // r
+	// Horner evaluation of the degree-8 Taylor polynomial of e^r.
+	b.MovFloat(slRes, 1.0/40320)
+	for _, c := range []float64{1.0 / 5040, 1.0 / 720, 1.0 / 120, 1.0 / 24, 1.0 / 6, 0.5, 1, 1} {
+		b.Op3(isa.FMUL, slRes, slRes, slT1)
+		b.MovFloat(slT2, c)
+		b.Op3(isa.FADD, slRes, slRes, slT2)
+	}
+	// Scale by 2^k: construct the float (1023+k)<<52 from integer bits.
+	b.Op2(isa.FTOI, slT0, slT0)
+	b.AddI(slT0, slT0, 1023)
+	b.OpI(isa.SHLI, slT0, slT0, 52)
+	b.Op3(isa.FMUL, slRes, slRes, slT0)
+	b.Ret()
+}
+
+// emitLn emits fm_ln: ln(x) for positive normal x via exponent extraction
+// and the atanh series in s = (m-1)/(m+1) (relative error < 1e-9 over
+// m ∈ [1,2)). Arg r40, result r41, leaf.
+func (l *softLib) emitLn(b *progb.Builder) {
+	b.Label("fm_ln")
+	// e = unbiased exponent; m = mantissa normalised to [1,2)
+	b.OpI(isa.SHRI, slT0, slArg, 52)
+	b.OpI(isa.ANDI, slT0, slT0, 0x7ff)
+	b.AddI(slT0, slT0, -1023) // e
+	b.MovInt(slT1, (1<<52)-1)
+	b.Op3(isa.AND, slT1, slArg, slT1)
+	b.MovInt(slT2, 1023<<52)
+	b.Op3(isa.OR, slT1, slT1, slT2) // m as float bits
+	// s = (m-1)/(m+1); s2 = s²
+	b.Op3(isa.FSUB, slT2, slT1, slOne)
+	b.Op3(isa.FADD, slT1, slT1, slOne)
+	b.Op3(isa.FDIV, slT2, slT2, slT1) // s
+	b.Op3(isa.FMUL, slT3, slT2, slT2) // s²
+	// p = 1 + s²(1/3 + s²(1/5 + s²(1/7 + s²(1/9 + s²/11))))
+	b.MovFloat(slRes, 1.0/11)
+	for _, c := range []float64{1.0 / 9, 1.0 / 7, 1.0 / 5, 1.0 / 3, 1} {
+		b.Op3(isa.FMUL, slRes, slRes, slT3)
+		b.MovFloat(slT1, c)
+		b.Op3(isa.FADD, slRes, slRes, slT1)
+	}
+	// ln x = e·ln2 + 2·s·p
+	b.Op3(isa.FMUL, slRes, slRes, slT2)
+	b.Op3(isa.FMUL, slRes, slRes, slTwo)
+	b.Op2(isa.ITOF, slT0, slT0)
+	b.MovFloat(slT1, math.Ln2)
+	b.Op3(isa.FMUL, slT0, slT0, slT1)
+	b.Op3(isa.FADD, slRes, slRes, slT0)
+	b.Ret()
+}
+
+// U01 emits a call to rand_u01 and moves the uniform draw into dst.
+func (l *softLib) U01(b *progb.Builder, dst isa.Reg) {
+	b.Call("rand_u01")
+	b.Mov(dst, slU)
+}
+
+// UIntN emits dst = uniform integer in [0, n) for a constant bound n.
+func (l *softLib) UIntN(b *progb.Builder, dst isa.Reg, n int64) {
+	b.Call("rand_u01")
+	b.MovFloat(slT0, float64(n))
+	b.Op3(isa.FMUL, dst, slU, slT0)
+	b.Op2(isa.FTOI, dst, dst)
+}
+
+// Gauss emits a call to rand_gauss and moves the normal draw into dst.
+// The library must have been created with libGauss.
+func (l *softLib) Gauss(b *progb.Builder, dst isa.Reg) {
+	b.Call("rand_gauss")
+	b.Mov(dst, slG)
+}
+
+// Exp emits dst = e^src via fm_exp (requires libExp).
+func (l *softLib) Exp(b *progb.Builder, dst, src isa.Reg) {
+	b.Mov(slArg, src)
+	b.Call("fm_exp")
+	b.Mov(dst, slRes)
+}
+
+// Ln emits dst = ln(src) via fm_ln (requires libLn or libGauss).
+func (l *softLib) Ln(b *progb.Builder, dst, src isa.Reg) {
+	b.Mov(slArg, src)
+	b.Call("fm_ln")
+	b.Mov(dst, slRes)
+}

@@ -1,0 +1,132 @@
+package workloads
+
+import (
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/progb"
+)
+
+// swTrials is the baseline trial count at Scale 1.
+const swTrials = 25_000
+
+// Swaption pricing parameters: a lognormal forward swap rate priced
+// against three strikes (a simplified HJM payoff kernel preserving the
+// structure the paper relies on: three Category-2 branches inside a
+// function called from the simulation loop, which the compiler does not
+// inline — the reason CFD cannot split the loop, §II-B2).
+const (
+	swF     = 0.04 // forward swap rate
+	swSigma = 0.3  // lognormal volatility
+	swK1    = 0.035
+	swK2    = 0.040
+	swK3    = 0.045
+)
+
+// Swaptions prices three swaptions per Monte Carlo trial. Each payoff test
+// is a Category-2 probabilistic branch on its own copy of the simulated
+// rate (the rate is consumed by the payoff accumulation after the branch).
+func Swaptions() *Workload {
+	return &Workload{
+		Name:         "Swaptions",
+		Category:     Category2,
+		Description:  "Monte Carlo swaption pricing, payoff kernel in a non-inlined function",
+		ProbBranches: 3,
+		ViaCall:      true,
+		UniformProb:  true,
+		Uniformize:   swaptionsCDF,
+		Build:        buildSwaptions,
+		// Table I: neither predication nor CFD applies — the branches sit
+		// behind a function call the compiler cannot inline.
+		BuildVariant:   nil,
+		CompareOutputs: relErrAccuracy("relative error", 1e-3),
+	}
+}
+
+// swaptionsCDF maps the simulated lognormal rate to a uniform variate:
+// V = F·exp(σZ − σ²/2) with Z standard normal.
+func swaptionsCDF(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	z := (math.Log(v/swF) + swSigma*swSigma/2) / swSigma
+	return normalCDF(z)
+}
+
+// Register plan for Swaptions. The payoff accumulators live in
+// caller-saved high registers because the kernel is a separate function.
+const (
+	swRI    isa.Reg = 1
+	swRN    isa.Reg = 2
+	swRZ    isa.Reg = 3 // gaussian draw
+	swRV1   isa.Reg = 4 // rate copy for branch 1 (probabilistic value)
+	swRV2   isa.Reg = 5 // rate copy for branch 2
+	swRV3   isa.Reg = 6 // rate copy for branch 3
+	swRK1   isa.Reg = 7
+	swRK2   isa.Reg = 8
+	swRK3   isa.Reg = 9
+	swRP1   isa.Reg = 10 // payoff sums
+	swRP2   isa.Reg = 11
+	swRP3   isa.Reg = 12
+	swRTmp  isa.Reg = 13
+	swRF    isa.Reg = 14 // forward rate constant
+	swRSig  isa.Reg = 15
+	swRHalf isa.Reg = 16 // -σ²/2
+)
+
+func buildSwaptions(p Params, prob bool) (*isa.Program, error) {
+	b := progb.New("Swaptions", prob)
+	n := swTrials * p.scale()
+	b.MovInt(swRN, n)
+	b.MovFloat(swRK1, swK1)
+	b.MovFloat(swRK2, swK2)
+	b.MovFloat(swRK3, swK3)
+	b.MovFloat(swRP1, 0)
+	b.MovFloat(swRP2, 0)
+	b.MovFloat(swRP3, 0)
+	b.MovFloat(swRF, swF)
+	b.MovFloat(swRSig, swSigma)
+	b.MovFloat(swRHalf, -swSigma*swSigma/2)
+	rng := emitSoftLib(b, libGauss|libExp)
+
+	b.Jmp("main")
+
+	// --- payoff kernel (non-inlined function) ---
+	b.Label("simulate_path")
+	b.Mov(47, isa.LR) // save the return address around the runtime calls
+	rng.Gauss(b, swRZ)
+	// V = F * exp(sigma*z - sigma^2/2)
+	b.Op3(isa.FMUL, swRTmp, swRSig, swRZ)
+	b.Op3(isa.FADD, swRTmp, swRTmp, swRHalf)
+	rng.Exp(b, swRTmp, swRTmp)
+	b.Op3(isa.FMUL, swRV1, swRF, swRTmp)
+	b.Mov(isa.LR, 47)
+	b.Mov(swRV2, swRV1)
+	b.Mov(swRV3, swRV1)
+	// Three Category-2 probabilistic branches, each on its own rate copy.
+	payoff := func(v, k, sum isa.Reg, tag string) {
+		skip := b.AutoLabel("otm_" + tag)
+		b.MarkedBranchIf(isa.CmpLE|isa.CmpFloat, v, k, nil, skip)
+		b.Op3(isa.FSUB, swRTmp, v, k)
+		b.Op3(isa.FADD, sum, sum, swRTmp)
+		b.Label(skip)
+	}
+	payoff(swRV1, swRK1, swRP1, "k1")
+	payoff(swRV2, swRK2, swRP2, "k2")
+	payoff(swRV3, swRK3, swRP3, "k3")
+	b.Ret()
+
+	// --- main loop ---
+	b.Label("main")
+	b.ForN(swRI, swRN, func() {
+		b.Call("simulate_path")
+	})
+	// Average payoffs.
+	b.Op2(isa.ITOF, swRZ, swRN)
+	for _, sum := range []isa.Reg{swRP1, swRP2, swRP3} {
+		b.Op3(isa.FDIV, swRTmp, sum, swRZ)
+		b.Out(swRTmp)
+	}
+	b.Halt()
+	return b.Finish()
+}
