@@ -17,15 +17,18 @@
 //	BenchmarkBaselines  — §IV PBS vs predication/CFD
 //	BenchmarkWorkload*  — per-benchmark simulation throughput, PBS on/off
 //	BenchmarkResolutionPenalty — ablation: honest dataflow penalty model
+//	BenchmarkSweep      — batch engine end to end, cold caches (Fig 6 grid)
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -39,6 +42,7 @@ func benchOptions() experiments.Options {
 
 func BenchmarkFigure1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		f, err := experiments.Figure1(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -51,6 +55,7 @@ func BenchmarkFigure1(b *testing.B) {
 
 func BenchmarkFigure6(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		f, err := experiments.Figure6(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -65,6 +70,7 @@ func BenchmarkFigure6(b *testing.B) {
 
 func BenchmarkFigure7(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		f, err := experiments.Figure7(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -79,6 +85,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 func BenchmarkFigure8(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		f, err := experiments.Figure8(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -92,6 +99,7 @@ func BenchmarkFigure8(b *testing.B) {
 
 func BenchmarkFigure9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		f, err := experiments.Figure9(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -104,6 +112,7 @@ func BenchmarkFigure9(b *testing.B) {
 
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		tab, err := experiments.TableII(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -118,6 +127,7 @@ func BenchmarkTableII(b *testing.B) {
 
 func BenchmarkTableIII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		tab, err := experiments.TableIII(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -130,6 +140,7 @@ func BenchmarkTableIII(b *testing.B) {
 
 func BenchmarkAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		acc, err := experiments.Accuracy(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -142,6 +153,7 @@ func BenchmarkAccuracy(b *testing.B) {
 
 func BenchmarkBaselines(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		experiments.ResetEngine()
 		bc, err := experiments.BaselineComparison(benchOptions())
 		if err != nil {
 			b.Fatal(err)
@@ -210,6 +222,27 @@ func BenchmarkResolutionPenalty(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkSweep measures the batch engine end to end: a fresh engine per
+// iteration (cold program and result caches) runs the Figure 6 grid —
+// every workload × both predictors × PBS on/off — and reports sweep
+// throughput in points per second.
+func BenchmarkSweep(b *testing.B) {
+	grid := sweep.Grid{
+		Predictors: []sim.PredictorKind{sim.PredTournament, sim.PredTAGESCL},
+		PBS:        []bool{false, true},
+		Seeds:      []uint64{11},
+	}
+	points := 0
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.NewEngine().Run(context.Background(), grid)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points += len(res)
+	}
+	b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
 }
 
 // PBS hardware-table microbenchmark: resolution throughput of the unit

@@ -1,0 +1,205 @@
+// Command pbsweep runs a declarative grid of simulations — workloads ×
+// predictors × PBS on/off × core widths × seeds × variants — through the
+// batch engine (internal/sweep) and emits machine-readable per-point
+// results.
+//
+// Usage:
+//
+//	pbsweep                                   # all workloads × both predictors × PBS on/off, JSON on stdout
+//	pbsweep -workloads PI,DOP -seeds 11,23,37 -widths 4,8 -format csv -o results.csv
+//	pbsweep -variants plain,predicated,cfd    # Table I baselines (inapplicable combos skipped)
+//	pbsweep -spec grid.json                   # grid from a JSON specification file
+//	pbsweep -list
+//
+// A specification file is the JSON encoding of the sweep.Grid struct:
+//
+//	{"workloads": ["PI"], "predictors": ["tage-sc-l"], "pbs": [false, true], "seeds": [11, 23]}
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+	"repro/internal/workloads"
+)
+
+func main() {
+	var (
+		spec      = flag.String("spec", "", "JSON grid specification file (overrides the grid flags; -parallel still applies)")
+		workload  = flag.String("workloads", "all", "comma-separated benchmark names, or \"all\"")
+		predictor = flag.String("predictors", "tage-sc-l,tournament", "comma-separated predictors: tournament | tage-sc-l | always-taken")
+		pbs       = flag.String("pbs", "both", "PBS hardware: on | off | both")
+		widths    = flag.String("widths", "4", "comma-separated core widths (4 and/or 8)")
+		seeds     = flag.String("seeds", "1", "comma-separated machine RNG seeds")
+		variants  = flag.String("variants", "plain", "comma-separated program variants: plain | predicated | cfd (inapplicable combinations are skipped)")
+		scale     = flag.Int("scale", 1, "workload iteration scale")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		format    = flag.String("format", "json", "output format: json | csv")
+		out       = flag.String("o", "", "output file (default stdout)")
+		progress  = flag.Bool("progress", true, "report progress on stderr")
+		list      = flag.Bool("list", false, "list benchmarks and predictors, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-12s category %d, %d probabilistic branch(es): %s\n",
+				w.Name, w.Category, w.ProbBranches, w.Description)
+		}
+		fmt.Printf("predictors:  %s, %s, %s\n", sim.PredTournament, sim.PredTAGESCL, sim.PredAlways)
+		fmt.Println("variants:    plain, predicated, cfd")
+		return
+	}
+
+	if *format != "json" && *format != "csv" {
+		fail(fmt.Errorf("unknown format %q (want json or csv)", *format))
+	}
+	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel)
+	if err != nil {
+		fail(err)
+	}
+
+	eng := sweep.NewEngine()
+	if *progress {
+		// Progress callbacks arrive concurrently from the workers; print
+		// monotonically so a stale count never overwrites the final line.
+		var mu sync.Mutex
+		printed := 0
+		eng.OnProgress = func(done, total int) {
+			mu.Lock()
+			defer mu.Unlock()
+			if done <= printed {
+				return
+			}
+			printed = done
+			fmt.Fprintf(os.Stderr, "\rpbsweep: %d/%d points", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	results, err := eng.Run(context.Background(), grid)
+	if err != nil {
+		if *progress {
+			fmt.Fprintln(os.Stderr)
+		}
+		fail(err)
+	}
+	if len(results) == 0 {
+		fail(fmt.Errorf("grid expanded to no runnable points (every workload × variant combination is inapplicable)"))
+	}
+
+	w := os.Stdout
+	var f *os.File
+	if *out != "" {
+		f, err = os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		w = f
+	}
+	if *format == "json" {
+		err = results.WriteJSON(w)
+	} else {
+		err = results.WriteCSV(w)
+	}
+	if err != nil {
+		fail(err)
+	}
+	if f != nil {
+		// A failed close can mean a truncated file; report it.
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int) (sweep.Grid, error) {
+	var g sweep.Grid
+	if spec != "" {
+		data, err := os.ReadFile(spec)
+		if err != nil {
+			return g, err
+		}
+		dec := json.NewDecoder(bytes.NewReader(data))
+		dec.DisallowUnknownFields() // a typoed axis must not silently sweep the defaults
+		if err := dec.Decode(&g); err != nil {
+			return g, fmt.Errorf("%s: %w", spec, err)
+		}
+		if dec.More() {
+			return g, fmt.Errorf("%s: trailing data after the grid object", spec)
+		}
+		// -parallel is an execution knob, not a grid axis: honor it even
+		// with a spec file (a spec "parallel" wins unless the flag is set).
+		if parallel != 0 {
+			g.Parallel = parallel
+		}
+		return g, nil
+	}
+
+	if workload != "all" {
+		g.Workloads = splitCSV(workload)
+	}
+	for _, p := range splitCSV(predictor) {
+		g.Predictors = append(g.Predictors, sim.PredictorKind(p))
+	}
+	switch pbs {
+	case "on":
+		g.PBS = []bool{true}
+	case "off":
+		g.PBS = []bool{false}
+	case "both":
+		g.PBS = []bool{false, true}
+	default:
+		return g, fmt.Errorf("-pbs must be on, off or both (got %q)", pbs)
+	}
+	for _, s := range splitCSV(widths) {
+		w, err := strconv.Atoi(s)
+		if err != nil {
+			return g, fmt.Errorf("-widths: %w", err)
+		}
+		g.Widths = append(g.Widths, w)
+	}
+	for _, s := range splitCSV(seeds) {
+		seed, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			return g, fmt.Errorf("-seeds: %w", err)
+		}
+		g.Seeds = append(g.Seeds, seed)
+	}
+	for _, s := range splitCSV(variants) {
+		v, err := workloads.VariantByName(s)
+		if err != nil {
+			return g, err
+		}
+		g.Variants = append(g.Variants, v)
+	}
+	g.SkipInapplicable = true
+	g.Scale = scale
+	g.Parallel = parallel
+	return g, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pbsweep:", err)
+	os.Exit(1)
+}

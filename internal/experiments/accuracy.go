@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -37,36 +38,41 @@ type AccuracyData struct {
 // gets the multi-seed success-rate confidence-interval comparison.
 func Accuracy(opt Options) (*AccuracyData, error) {
 	names := workloadNames()
-	rows := make([]AccuracyRow, len(names))
-	var jobs []func() error
-	for i, name := range names {
-		i, name := i, name
-		jobs = append(jobs, func() error {
-			w, err := workloads.ByName(name)
-			if err != nil {
-				return err
-			}
-			baseCfg := baseRun(name, opt.seed0(), opt.Scale, "", false)
-			baseCfg.SkipTiming = true
-			baseRes, err := sim.Run(baseCfg)
-			if err != nil {
-				return err
-			}
-			pbsCfg := baseRun(name, opt.seed0(), opt.Scale, "", true)
-			pbsCfg.SkipTiming = true
-			pbsRes, err := sim.Run(pbsCfg)
-			if err != nil {
-				return err
-			}
-			rows[i] = AccuracyRow{Workload: name, Result: w.CompareOutputs(baseRes.Outputs, pbsRes.Outputs)}
-			return nil
+	res, err := runGrids(opt,
+		sweep.Grid{
+			Workloads:  names,
+			PBS:        []bool{false, true},
+			Seeds:      []uint64{opt.seed0()},
+			SkipTiming: true,
+		},
+		// The Genetic success-rate study needs the full seed set.
+		sweep.Grid{
+			Workloads:  []string{"Genetic"},
+			PBS:        []bool{false, true},
+			Seeds:      opt.Seeds,
+			SkipTiming: true,
 		})
-	}
-	if err := runParallel(opt.parallel(), jobs); err != nil {
+	if err != nil {
 		return nil, err
 	}
+	rows := make([]AccuracyRow, len(names))
+	for i, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		baseRes, err := res.Get(sweep.Key{Workload: name, Seed: opt.seed0()})
+		if err != nil {
+			return nil, err
+		}
+		pbsRes, err := res.Get(sweep.Key{Workload: name, PBS: true, Seed: opt.seed0()})
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = AccuracyRow{Workload: name, Result: w.CompareOutputs(baseRes.Outputs, pbsRes.Outputs)}
+	}
 
-	gen, err := geneticSuccess(opt)
+	gen, err := geneticSuccess(opt, res)
 	if err != nil {
 		return nil, err
 	}
@@ -75,44 +81,27 @@ func Accuracy(opt Options) (*AccuracyData, error) {
 
 // geneticSuccess measures the Genetic success rate with and without PBS
 // across the seed set (the paper uses 8 seeds and compares 95% CIs).
-func geneticSuccess(opt Options) (*GeneticAccuracy, error) {
-	seeds := opt.Seeds
-	origSucc := make([]int, len(seeds))
-	pbsSucc := make([]int, len(seeds))
-	var jobs []func() error
-	for s, seed := range seeds {
-		s, seed := s, seed
-		jobs = append(jobs, func() error {
-			for _, pbs := range []bool{false, true} {
-				cfg := baseRun("Genetic", seed, opt.Scale, "", pbs)
-				cfg.SkipTiming = true
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return err
-				}
-				if len(res.Outputs) > 0 && res.Outputs[0] == 1 {
-					if pbs {
-						pbsSucc[s] = 1
-					} else {
-						origSucc[s] = 1
-					}
-				}
-			}
-			return nil
-		})
-	}
-	if err := runParallel(opt.parallel(), jobs); err != nil {
-		return nil, err
-	}
-	sum := func(xs []int) int {
-		t := 0
-		for _, x := range xs {
-			t += x
+func geneticSuccess(opt Options, res sweep.Results) (*GeneticAccuracy, error) {
+	succeeded := func(r *sim.Result) int {
+		if len(r.Outputs) > 0 && r.Outputs[0] == 1 {
+			return 1
 		}
-		return t
+		return 0
 	}
-	ko, kp := sum(origSucc), sum(pbsSucc)
-	n := len(seeds)
+	ko, kp := 0, 0
+	for _, seed := range opt.Seeds {
+		orig, err := res.Get(sweep.Key{Workload: "Genetic", Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		pbs, err := res.Get(sweep.Key{Workload: "Genetic", PBS: true, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		ko += succeeded(orig)
+		kp += succeeded(pbs)
+	}
+	n := len(opt.Seeds)
 	g := &GeneticAccuracy{
 		Trials:   n,
 		OrigRate: float64(ko) / float64(n),
@@ -160,50 +149,55 @@ type BaselineData struct{ Rows []BaselineRow }
 // pays fetch of both paths).
 func BaselineComparison(opt Options) (*BaselineData, error) {
 	names := workloadNames()
-	rows := make([]BaselineRow, len(names))
-	var jobs []func() error
-	for i, name := range names {
-		i, name := i, name
-		jobs = append(jobs, func() error {
-			w, err := workloads.ByName(name)
-			if err != nil {
-				return err
-			}
-			row := BaselineRow{Workload: name}
-			base, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, sim.PredTAGESCL, false))
-			if err != nil {
-				return err
-			}
-			row.BaselineIPC = base.Timing.IPC()
-			pbs, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, sim.PredTAGESCL, true))
-			if err != nil {
-				return err
-			}
-			row.PBSIPC = pbs.Timing.IPC()
-			for variant, dst := range map[workloads.Variant]*float64{
-				workloads.VariantPredicated: &row.PredicatedIPC,
-				workloads.VariantCFD:        &row.CFDIPC,
-			} {
-				if w.BuildVariant[variant] == nil {
-					continue
-				}
-				cfg := baseRun(name, opt.seed0(), opt.Scale, sim.PredTAGESCL, false)
-				cfg.Variant = variant
-				res, err := sim.Run(cfg)
-				if err != nil {
-					return err
-				}
-				// Variants execute different instruction counts; compare
-				// work rate via cycles for the same algorithmic work:
-				// report effective IPC of the plain instruction budget.
-				*dst = float64(base.Timing.Instructions) / float64(res.Timing.Cycles)
-			}
-			rows[i] = row
-			return nil
+	res, err := runGrids(opt,
+		sweep.Grid{
+			Workloads: names,
+			PBS:       []bool{false, true},
+			Seeds:     []uint64{opt.seed0()},
+		},
+		sweep.Grid{
+			Workloads:        names,
+			Seeds:            []uint64{opt.seed0()},
+			Variants:         []workloads.Variant{workloads.VariantPredicated, workloads.VariantCFD},
+			SkipInapplicable: true,
 		})
-	}
-	if err := runParallel(opt.parallel(), jobs); err != nil {
+	if err != nil {
 		return nil, err
+	}
+	rows := make([]BaselineRow, len(names))
+	for i, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		row := BaselineRow{Workload: name}
+		base, err := res.Get(sweep.Key{Workload: name, Seed: opt.seed0()})
+		if err != nil {
+			return nil, err
+		}
+		row.BaselineIPC = base.Timing.IPC()
+		pbs, err := res.Get(sweep.Key{Workload: name, PBS: true, Seed: opt.seed0()})
+		if err != nil {
+			return nil, err
+		}
+		row.PBSIPC = pbs.Timing.IPC()
+		for variant, dst := range map[workloads.Variant]*float64{
+			workloads.VariantPredicated: &row.PredicatedIPC,
+			workloads.VariantCFD:        &row.CFDIPC,
+		} {
+			if w.BuildVariant[variant] == nil {
+				continue
+			}
+			vr, err := res.Get(sweep.Key{Workload: name, Seed: opt.seed0(), Variant: variant})
+			if err != nil {
+				return nil, err
+			}
+			// Variants execute different instruction counts; compare
+			// work rate via cycles for the same algorithmic work:
+			// report effective IPC of the plain instruction budget.
+			*dst = float64(base.Timing.Instructions) / float64(vr.Timing.Cycles)
+		}
+		rows[i] = row
 	}
 	return &BaselineData{Rows: rows}, nil
 }

@@ -7,13 +7,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"strings"
-	"sync"
 
-	"repro/internal/sim"
+	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
@@ -41,13 +40,6 @@ func QuickOptions() Options {
 	return Options{Scale: 1, Seeds: []uint64{11, 23, 37}}
 }
 
-func (o Options) parallel() int {
-	if o.Parallel > 0 {
-		return o.Parallel
-	}
-	return runtime.GOMAXPROCS(0)
-}
-
 func (o Options) seed0() uint64 {
 	if len(o.Seeds) > 0 {
 		return o.Seeds[0]
@@ -55,33 +47,49 @@ func (o Options) seed0() uint64 {
 	return 1
 }
 
-// runParallel executes the jobs with bounded parallelism and returns the
-// first error.
-func runParallel(par int, jobs []func() error) error {
-	if par < 1 {
-		par = 1
-	}
-	sem := make(chan struct{}, par)
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	var firstErr error
-	for _, job := range jobs {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(job func() error) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if err := job(); err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = err
-				}
-				mu.Unlock()
+// engine is the package-wide sweep engine. One program cache and one
+// result memo are shared by every figure and table, so experiments that
+// revisit a configuration simulate it once: Figure 1's baseline runs are
+// a subset of Figure 6's grid, and Figure 7 equals Figure 6 on the
+// default 4-wide core. Results are deterministic functions of their grid
+// point, so the memo never changes any number.
+var engine = sweep.NewEngine()
+
+// ResetEngine discards the package's cached programs and memoized
+// results, so the next experiment simulates everything from scratch.
+// Benchmarks call it per iteration to time experiments cold; ordinary
+// callers never need it — memoized results are deterministic, sharing
+// them changes no number. Not safe concurrently with a running
+// experiment.
+func ResetEngine() { engine = sweep.NewEngine() }
+
+// runGrids expands the grids at the options' scale and executes all their
+// points on one shared worker pool, stopping at the first error. Points
+// that appear in several grids (Accuracy's seed-0 study overlaps its
+// Genetic all-seeds study) run once; lookups see every copy.
+func runGrids(opt Options, grids ...sweep.Grid) (sweep.Results, error) {
+	var pts []sweep.Point
+	seen := make(map[sweep.Point]bool)
+	for _, g := range grids {
+		// Every experiment grid sets Seeds from its Options; empty means
+		// the caller asked for no seeds, not sweep's default seed — run
+		// nothing rather than simulate points no result loop will read.
+		if len(g.Seeds) == 0 {
+			continue
+		}
+		g.Scale = opt.Scale
+		ps, err := g.Points()
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range ps {
+			if !seen[p] {
+				seen[p] = true
+				pts = append(pts, p)
 			}
-		}(job)
+		}
 	}
-	wg.Wait()
-	return firstErr
+	return engine.RunPoints(context.Background(), pts, opt.Parallel)
 }
 
 // geomean returns the geometric mean of positive values.
@@ -113,14 +121,3 @@ func header(sb *strings.Builder, cols ...string) {
 
 // workloadNames returns the Table II ordering.
 func workloadNames() []string { return workloads.Names() }
-
-// baseRun builds a sim config shared by most experiments.
-func baseRun(name string, seed uint64, scale int, pred sim.PredictorKind, pbs bool) sim.Config {
-	return sim.Config{
-		Workload:  name,
-		Params:    workloads.Params{Scale: scale},
-		Seed:      seed,
-		Predictor: pred,
-		PBS:       pbs,
-	}
-}

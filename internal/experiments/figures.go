@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"strings"
 
-	"repro/internal/pipeline"
 	"repro/internal/sim"
+	"repro/internal/sweep"
 )
+
+// bothPredictors is the predictor pair most figures sweep.
+var bothPredictors = []sim.PredictorKind{sim.PredTournament, sim.PredTAGESCL}
 
 // Fig1Row is one benchmark of Figure 1: the share of dynamic conditional
 // branches that are probabilistic, and the share of mispredictions they
@@ -25,31 +28,31 @@ type Fig1 struct{ Rows []Fig1Row }
 // dynamic branches but a disproportionate share of mispredictions.
 func Figure1(opt Options) (*Fig1, error) {
 	names := workloadNames()
-	rows := make([]Fig1Row, len(names))
-	var jobs []func() error
-	for i, name := range names {
-		i, name := i, name
-		jobs = append(jobs, func() error {
-			tour, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, sim.PredTournament, false))
-			if err != nil {
-				return err
-			}
-			tage, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, sim.PredTAGESCL, false))
-			if err != nil {
-				return err
-			}
-			mt, mg := tour.Timing, tage.Timing
-			rows[i] = Fig1Row{
-				Workload:        name,
-				ProbBranchShare: 100 * float64(mt.ProbBranches) / float64(mt.CondBranches),
-				TournMissShare:  100 * float64(mt.MispredictsProb) / float64(mt.Mispredicts),
-				TageMissShare:   100 * float64(mg.MispredictsProb) / float64(mg.Mispredicts),
-			}
-			return nil
-		})
-	}
-	if err := runParallel(opt.parallel(), jobs); err != nil {
+	res, err := runGrids(opt, sweep.Grid{
+		Workloads:  names,
+		Predictors: bothPredictors,
+		Seeds:      []uint64{opt.seed0()},
+	})
+	if err != nil {
 		return nil, err
+	}
+	rows := make([]Fig1Row, len(names))
+	for i, name := range names {
+		tour, err := res.Get(sweep.Key{Workload: name, Predictor: sim.PredTournament, Seed: opt.seed0()})
+		if err != nil {
+			return nil, err
+		}
+		tage, err := res.Get(sweep.Key{Workload: name, Predictor: sim.PredTAGESCL, Seed: opt.seed0()})
+		if err != nil {
+			return nil, err
+		}
+		mt, mg := tour.Timing, tage.Timing
+		rows[i] = Fig1Row{
+			Workload:        name,
+			ProbBranchShare: 100 * float64(mt.ProbBranches) / float64(mt.CondBranches),
+			TournMissShare:  100 * float64(mt.MispredictsProb) / float64(mt.Mispredicts),
+			TageMissShare:   100 * float64(mg.MispredictsProb) / float64(mg.Mispredicts),
+		}
 	}
 	return &Fig1{Rows: rows}, nil
 }
@@ -87,38 +90,39 @@ type Fig6 struct {
 // predictors.
 func Figure6(opt Options) (*Fig6, error) {
 	names := workloadNames()
-	rows := make([]Fig6Row, len(names))
-	var jobs []func() error
-	for i, name := range names {
-		i, name := i, name
-		jobs = append(jobs, func() error {
-			row := Fig6Row{Workload: name}
-			for _, pred := range []sim.PredictorKind{sim.PredTournament, sim.PredTAGESCL} {
-				base, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, pred, false))
-				if err != nil {
-					return err
-				}
-				pbs, err := sim.Run(baseRun(name, opt.seed0(), opt.Scale, pred, true))
-				if err != nil {
-					return err
-				}
-				b, p := base.Timing.MPKI(), pbs.Timing.MPKI()
-				red := 0.0
-				if b > 0 {
-					red = 100 * (b - p) / b
-				}
-				if pred == sim.PredTournament {
-					row.TournBaseMPKI, row.TournPBSMPKI, row.TournReduction = b, p, red
-				} else {
-					row.TageBaseMPKI, row.TagePBSMPKI, row.TageReduction = b, p, red
-				}
-			}
-			rows[i] = row
-			return nil
-		})
-	}
-	if err := runParallel(opt.parallel(), jobs); err != nil {
+	res, err := runGrids(opt, sweep.Grid{
+		Workloads:  names,
+		Predictors: bothPredictors,
+		PBS:        []bool{false, true},
+		Seeds:      []uint64{opt.seed0()},
+	})
+	if err != nil {
 		return nil, err
+	}
+	rows := make([]Fig6Row, len(names))
+	for i, name := range names {
+		row := Fig6Row{Workload: name}
+		for _, pred := range bothPredictors {
+			base, err := res.Get(sweep.Key{Workload: name, Predictor: pred, Seed: opt.seed0()})
+			if err != nil {
+				return nil, err
+			}
+			pbs, err := res.Get(sweep.Key{Workload: name, Predictor: pred, PBS: true, Seed: opt.seed0()})
+			if err != nil {
+				return nil, err
+			}
+			b, p := base.Timing.MPKI(), pbs.Timing.MPKI()
+			red := 0.0
+			if b > 0 {
+				red = 100 * (b - p) / b
+			}
+			if pred == sim.PredTournament {
+				row.TournBaseMPKI, row.TournPBSMPKI, row.TournReduction = b, p, red
+			} else {
+				row.TageBaseMPKI, row.TagePBSMPKI, row.TageReduction = b, p, red
+			}
+		}
+		rows[i] = row
 	}
 	f := &Fig6{Rows: rows}
 	for _, r := range rows {
@@ -170,49 +174,54 @@ type FigIPC struct {
 	MaxTagePBS  float64
 }
 
-// figureIPC runs the four configurations of Figures 7/8 on the given core.
-func figureIPC(opt Options, core pipeline.Config) (*FigIPC, error) {
+// figureIPC runs the four configurations of Figures 7/8 on the given core
+// width.
+func figureIPC(opt Options, wide int) (*FigIPC, error) {
 	names := workloadNames()
-	rows := make([]FigIPCRow, len(names))
-	var jobs []func() error
-	for i, name := range names {
-		i, name := i, name
-		jobs = append(jobs, func() error {
-			type cfg struct {
-				pred sim.PredictorKind
-				pbs  bool
-			}
-			cfgs := []cfg{
-				{sim.PredTournament, false},
-				{sim.PredTAGESCL, false},
-				{sim.PredTournament, true},
-				{sim.PredTAGESCL, true},
-			}
-			ipcs := make([]float64, len(cfgs))
-			for j, c := range cfgs {
-				rc := baseRun(name, opt.seed0(), opt.Scale, c.pred, c.pbs)
-				coreCopy := core
-				rc.Core = &coreCopy
-				res, err := sim.Run(rc)
-				if err != nil {
-					return err
-				}
-				ipcs[j] = res.Timing.IPC()
-			}
-			rows[i] = FigIPCRow{
-				Workload:     name,
-				Tournament:   1,
-				Tage:         ipcs[1] / ipcs[0],
-				TournamentPB: ipcs[2] / ipcs[0],
-				TagePB:       ipcs[3] / ipcs[0],
-			}
-			return nil
-		})
-	}
-	if err := runParallel(opt.parallel(), jobs); err != nil {
+	res, err := runGrids(opt, sweep.Grid{
+		Workloads:  names,
+		Predictors: bothPredictors,
+		PBS:        []bool{false, true},
+		Widths:     []int{wide},
+		Seeds:      []uint64{opt.seed0()},
+	})
+	if err != nil {
 		return nil, err
 	}
-	f := &FigIPC{Wide: core.Width, Rows: rows}
+	rows := make([]FigIPCRow, len(names))
+	for i, name := range names {
+		ipc := func(pred sim.PredictorKind, pbs bool) (float64, error) {
+			r, err := res.Get(sweep.Key{Workload: name, Predictor: pred, PBS: pbs, Width: wide, Seed: opt.seed0()})
+			if err != nil {
+				return 0, err
+			}
+			return r.Timing.IPC(), nil
+		}
+		tour, err := ipc(sim.PredTournament, false)
+		if err != nil {
+			return nil, err
+		}
+		tage, err := ipc(sim.PredTAGESCL, false)
+		if err != nil {
+			return nil, err
+		}
+		tourPB, err := ipc(sim.PredTournament, true)
+		if err != nil {
+			return nil, err
+		}
+		tagePB, err := ipc(sim.PredTAGESCL, true)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = FigIPCRow{
+			Workload:     name,
+			Tournament:   1,
+			Tage:         tage / tour,
+			TournamentPB: tourPB / tour,
+			TagePB:       tagePB / tour,
+		}
+	}
+	f := &FigIPC{Wide: wide, Rows: rows}
 	var tGains, gGains []float64
 	for _, r := range rows {
 		tg := r.TournamentPB / r.Tournament
@@ -232,10 +241,10 @@ func figureIPC(opt Options, core pipeline.Config) (*FigIPC, error) {
 }
 
 // Figure7 reproduces Figure 7: normalized IPC on the 4-wide core.
-func Figure7(opt Options) (*FigIPC, error) { return figureIPC(opt, pipeline.FourWide()) }
+func Figure7(opt Options) (*FigIPC, error) { return figureIPC(opt, 4) }
 
 // Figure8 reproduces Figure 8: normalized IPC on the 8-wide core.
-func Figure8(opt Options) (*FigIPC, error) { return figureIPC(opt, pipeline.EightWide()) }
+func Figure8(opt Options) (*FigIPC, error) { return figureIPC(opt, 8) }
 
 func (f *FigIPC) String() string {
 	var sb strings.Builder
@@ -272,40 +281,37 @@ type Fig9 struct{ Rows []Fig9Row }
 // across 7 seeds).
 func Figure9(opt Options) (*Fig9, error) {
 	names := workloadNames()
+	res, err := runGrids(opt, sweep.Grid{
+		Workloads:  names,
+		Predictors: []sim.PredictorKind{sim.PredTournament},
+		Seeds:      opt.Seeds,
+		FilterProb: []bool{false, true},
+	})
+	if err != nil {
+		return nil, err
+	}
 	rows := make([]Fig9Row, len(names))
 	for i, name := range names {
-		increases := make([]float64, len(opt.Seeds))
-		var jobs []func() error
-		for s, seed := range opt.Seeds {
-			s, seed := s, seed
-			jobs = append(jobs, func() error {
-				withProb, err := sim.Run(baseRun(name, seed, opt.Scale, sim.PredTournament, false))
-				if err != nil {
-					return err
-				}
-				filtCfg := baseRun(name, seed, opt.Scale, sim.PredTournament, false)
-				filtCfg.FilterProb = true
-				filtered, err := sim.Run(filtCfg)
-				if err != nil {
-					return err
-				}
-				a := withProb.Timing.MPKIReg()
-				b := filtered.Timing.MPKIReg()
-				if b > 0 {
-					increases[s] = 100 * (a - b) / b
-				}
-				return nil
-			})
-		}
-		if err := runParallel(opt.parallel(), jobs); err != nil {
-			return nil, err
-		}
 		row := Fig9Row{Workload: name}
-		for _, inc := range increases {
+		for _, seed := range opt.Seeds {
+			withProb, err := res.Get(sweep.Key{Workload: name, Predictor: sim.PredTournament, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			filtered, err := res.Get(sweep.Key{Workload: name, Predictor: sim.PredTournament, Seed: seed, FilterProb: true})
+			if err != nil {
+				return nil, err
+			}
+			inc := 0.0
+			a := withProb.Timing.MPKIReg()
+			b := filtered.Timing.MPKIReg()
+			if b > 0 {
+				inc = 100 * (a - b) / b
+			}
 			if inc > row.MaxIncrease {
 				row.MaxIncrease = inc
 			}
-			row.AvgIncrease += inc / float64(len(increases))
+			row.AvgIncrease += inc / float64(len(opt.Seeds))
 		}
 		rows[i] = row
 	}

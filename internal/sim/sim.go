@@ -68,6 +68,12 @@ type Config struct {
 	// Variant selects a Table I baseline build; VariantPlain runs the
 	// ordinary program.
 	Variant workloads.Variant
+	// Program, when non-nil, is executed instead of assembling
+	// Workload/Params/Variant from scratch; it must be the program
+	// BuildProgram would return for them. A run never mutates a program,
+	// so one build may be shared read-only by any number of concurrent
+	// simulations (internal/sweep caches programs this way).
+	Program *isa.Program
 	// SkipTiming runs only the functional emulator (for accuracy and
 	// randomness experiments, which need no pipeline).
 	SkipTiming bool
@@ -88,30 +94,44 @@ type Result struct {
 	Consumed  []float64
 }
 
+// BuildProgram assembles the program a Config with the given workload,
+// params and variant would execute. Callers that run many configurations
+// over the same program can build it once and share it read-only via
+// Config.Program.
+func BuildProgram(workload string, params workloads.Params, variant workloads.Variant) (*isa.Program, error) {
+	w, err := workloads.ByName(workload)
+	if err != nil {
+		return nil, err
+	}
+	if params.Scale == 0 {
+		params = workloads.DefaultParams()
+	}
+	switch variant {
+	case workloads.VariantPlain:
+		// Probabilistic marking is always present; PBS hardware decides.
+		return w.Build(params, true)
+	default:
+		build := w.BuildVariant[variant]
+		if build == nil {
+			return nil, fmt.Errorf("sim: workload %s has no variant %v (inapplicable per Table I)", w.Name, variant)
+		}
+		return build(params)
+	}
+}
+
 // Run executes one configuration.
 func Run(cfg Config) (*Result, error) {
 	w, err := workloads.ByName(cfg.Workload)
 	if err != nil {
 		return nil, err
 	}
-	params := cfg.Params
-	if params.Scale == 0 {
-		params = workloads.DefaultParams()
-	}
 
-	var prog *isa.Program
-	switch cfg.Variant {
-	case workloads.VariantPlain:
-		prog, err = w.Build(params, true) // probabilistic marking is always present; PBS hardware decides
-	default:
-		build := w.BuildVariant[cfg.Variant]
-		if build == nil {
-			return nil, fmt.Errorf("sim: workload %s has no variant %d (inapplicable per Table I)", w.Name, cfg.Variant)
+	prog := cfg.Program
+	if prog == nil {
+		prog, err = BuildProgram(cfg.Workload, cfg.Params, cfg.Variant)
+		if err != nil {
+			return nil, err
 		}
-		prog, err = build(params)
-	}
-	if err != nil {
-		return nil, err
 	}
 
 	var unit *core.Unit

@@ -1,0 +1,265 @@
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/isa"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Engine executes sweep points on a bounded worker pool. The zero value
+// runs without caching; NewEngine returns one with the program and result
+// caches enabled. An Engine is safe for concurrent use.
+type Engine struct {
+	// Programs caches assembled programs across runs; nil builds each
+	// point's program from scratch.
+	Programs *ProgramCache
+	// Results memoizes completed points across runs, so experiments that
+	// revisit a configuration simulate it once; nil disables memoization.
+	// Points that capture probabilistic value streams are never memoized
+	// (the streams are large).
+	Results *ResultCache
+	// OnProgress, when set, is called after each completed point with the
+	// number of completed points and the total. Calls may arrive
+	// concurrently from several workers.
+	OnProgress func(done, total int)
+}
+
+// NewEngine returns an engine with program and result caching enabled.
+func NewEngine() *Engine {
+	return &Engine{Programs: NewProgramCache(), Results: NewResultCache()}
+}
+
+// Result pairs a point with everything its simulation produced.
+type Result struct {
+	Point Point
+	Sim   *sim.Result
+}
+
+// Results holds one completed sweep, in point order.
+type Results []Result
+
+// Get returns the simulation result at the key (zero-value fields mean
+// the axis defaults, see Key). A Results set merged from several grids
+// may hold one key under different run parameters (say, a timing and a
+// skip-timing run of the same configuration); such a lookup is ambiguous
+// and fails rather than silently answering with either.
+func (rs Results) Get(k Key) (*sim.Result, error) {
+	k = k.normalize()
+	var found *Result
+	for i := range rs {
+		if rs[i].Point.Key != k {
+			continue
+		}
+		if found == nil {
+			found = &rs[i]
+		} else if found.Point != rs[i].Point {
+			return nil, fmt.Errorf("sweep: ambiguous lookup %+v: %+v and %+v share the key but differ in run parameters",
+				k, found.Point, rs[i].Point)
+		}
+	}
+	if found == nil {
+		return nil, fmt.Errorf("sweep: no result for %+v", k)
+	}
+	return found.Sim, nil
+}
+
+// Run expands the grid and executes every point.
+func (e *Engine) Run(ctx context.Context, g Grid) (Results, error) {
+	pts, err := g.Points()
+	if err != nil {
+		return nil, err
+	}
+	return e.RunPoints(ctx, pts, g.Parallel)
+}
+
+// RunPoints executes the points with at most parallel concurrent
+// simulations (0 means GOMAXPROCS). The first error aborts the sweep: no
+// further points are dispatched, and the error is returned once in-flight
+// points drain. Results are positionally deterministic — the same points
+// produce the same results at any parallelism.
+func (e *Engine) RunPoints(ctx context.Context, pts []Point, parallel int) (Results, error) {
+	if len(pts) == 0 {
+		return nil, ctx.Err()
+	}
+	if parallel < 1 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+	if parallel > len(pts) {
+		parallel = len(pts)
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		done     atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+
+	sims := make([]*sim.Result, len(pts))
+	jobs := make(chan int)
+	for range parallel {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain without running after an abort
+				}
+				res, err := e.runPoint(pts[i])
+				if err != nil {
+					// No "sweep:" prefix: the wrapped error carries its
+					// package prefix already.
+					fail(fmt.Errorf("%s: %w", pts[i], err))
+					continue
+				}
+				sims[i] = res
+				if e.OnProgress != nil {
+					e.OnProgress(int(done.Add(1)), len(pts))
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := range pts {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make(Results, len(pts))
+	for i, p := range pts {
+		out[i] = Result{Point: p.normalize(), Sim: sims[i]}
+	}
+	return out, nil
+}
+
+// runPoint executes one point, consulting the caches.
+func (e *Engine) runPoint(p Point) (*sim.Result, error) {
+	p = p.normalize()
+	memoize := e.Results != nil && !p.CaptureProb
+	if memoize {
+		if res, ok := e.Results.get(p); ok {
+			return res, nil
+		}
+	}
+	cfg, err := p.config()
+	if err != nil {
+		return nil, err
+	}
+	if e.Programs != nil {
+		prog, err := e.Programs.Get(p.Workload, p.Scale, p.Variant)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Program = prog
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if memoize {
+		e.Results.put(p, res)
+	}
+	return res, nil
+}
+
+// progKey identifies one assembled program.
+type progKey struct {
+	workload string
+	scale    int
+	variant  workloads.Variant
+}
+
+type progEntry struct {
+	once sync.Once
+	prog *isa.Program
+	err  error
+}
+
+// ProgramCache builds each distinct (workload, scale, variant) program
+// once and shares it read-only across simulations; sim.Run never mutates
+// a program. Safe for concurrent use: concurrent requests for the same
+// key build once, the rest wait for that build.
+type ProgramCache struct {
+	mu sync.Mutex
+	m  map[progKey]*progEntry
+}
+
+// NewProgramCache returns an empty program cache.
+func NewProgramCache() *ProgramCache {
+	return &ProgramCache{m: make(map[progKey]*progEntry)}
+}
+
+// Get returns the cached program, building it on first use. The program
+// is exactly what sim.BuildProgram returns for the same arguments.
+func (c *ProgramCache) Get(workload string, scale int, variant workloads.Variant) (*isa.Program, error) {
+	if scale <= 0 {
+		scale = 1
+	}
+	k := progKey{workload, scale, variant}
+	c.mu.Lock()
+	e := c.m[k]
+	if e == nil {
+		e = &progEntry{}
+		c.m[k] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.prog, e.err = sim.BuildProgram(workload, workloads.Params{Scale: scale}, variant)
+	})
+	return e.prog, e.err
+}
+
+// ResultCache memoizes completed simulations by normalized point. Results
+// are deterministic functions of their point, so a memoized result is
+// indistinguishable from a fresh run; callers must treat them as
+// read-only, as they are shared.
+type ResultCache struct {
+	mu sync.Mutex
+	m  map[Point]*sim.Result
+}
+
+// NewResultCache returns an empty result cache.
+func NewResultCache() *ResultCache {
+	return &ResultCache{m: make(map[Point]*sim.Result)}
+}
+
+func (c *ResultCache) get(p Point) (*sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.m[p]
+	return res, ok
+}
+
+func (c *ResultCache) put(p Point, res *sim.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[p] = res
+}

@@ -1,0 +1,227 @@
+// Package sweep is the batch-simulation engine behind the paper's
+// evaluation. It expands a declarative grid (workloads × predictors × PBS
+// on/off × core width × seeds × variants) into simulation configurations,
+// executes them on a bounded worker pool that stops dispatching on the
+// first error, caches assembled programs so each distinct (workload,
+// scale, variant) is built once and shared read-only across runs, and
+// returns structured per-point results that serialize to JSON or CSV.
+//
+// internal/experiments regenerates every figure and table of the paper
+// through this engine, and cmd/pbsweep exposes it on the command line.
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/workloads"
+)
+
+// Grid declares a batch of simulations as the cross product of its axes.
+// Empty axes take the documented defaults, so the zero value with one
+// field set is a useful sweep. The JSON encoding of a Grid is the
+// cmd/pbsweep specification-file format.
+type Grid struct {
+	// Workloads are benchmark names (workloads.Names); empty means all.
+	Workloads []string `json:"workloads,omitempty"`
+	// Predictors are front-end predictors; empty means {tage-sc-l}.
+	Predictors []sim.PredictorKind `json:"predictors,omitempty"`
+	// PBS lists the PBS hardware settings to sweep; empty means {false}.
+	PBS []bool `json:"pbs,omitempty"`
+	// Widths are core widths, 4 or 8; empty means {4}.
+	Widths []int `json:"widths,omitempty"`
+	// Seeds are machine RNG seeds; empty means {1}.
+	Seeds []uint64 `json:"seeds,omitempty"`
+	// Variants are program builds; empty means {plain}.
+	Variants []workloads.Variant `json:"variants,omitempty"`
+	// SkipInapplicable drops (workload, variant) combinations the workload
+	// does not implement (the × marks of Table I) instead of failing.
+	SkipInapplicable bool `json:"skip_inapplicable,omitempty"`
+	// FilterProb lists predictor-filter settings (the Fig 9 interference
+	// experiment); empty means {false}.
+	FilterProb []bool `json:"filter_prob,omitempty"`
+	// Scale multiplies workload iteration counts; 0 means 1.
+	Scale int `json:"scale,omitempty"`
+	// SkipTiming runs only the functional emulator (accuracy and
+	// randomness experiments need no pipeline).
+	SkipTiming bool `json:"skip_timing,omitempty"`
+	// CaptureProb records the probabilistic value streams (Table III).
+	CaptureProb bool `json:"capture_prob,omitempty"`
+	// MaxInstrs caps emulation per point; 0 runs to completion.
+	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+	// Parallel bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallel int `json:"parallel,omitempty"`
+}
+
+// Key identifies one point of a sweep along the grid axes, for looking a
+// result up in a Results set. Zero-value fields mean the defaults (width
+// 4, the tage-sc-l predictor, the plain variant).
+type Key struct {
+	Workload   string
+	Predictor  sim.PredictorKind
+	PBS        bool
+	Width      int
+	Seed       uint64
+	Variant    workloads.Variant
+	FilterProb bool
+}
+
+func (k Key) normalize() Key {
+	if k.Width == 0 {
+		k.Width = 4
+	}
+	if k.Predictor == "" {
+		k.Predictor = sim.PredTAGESCL
+	}
+	return k
+}
+
+// Point is one fully expanded grid coordinate: a Key plus the run
+// parameters every point of the grid shares.
+type Point struct {
+	Key
+	Scale       int
+	SkipTiming  bool
+	CaptureProb bool
+	MaxInstrs   uint64
+}
+
+func (p Point) normalize() Point {
+	p.Key = p.Key.normalize()
+	if p.Scale <= 0 {
+		p.Scale = 1
+	}
+	return p
+}
+
+func (p Point) String() string {
+	s := fmt.Sprintf("%s/%s/pbs=%v/%d-wide/seed=%d", p.Workload, p.Predictor, p.PBS, p.Width, p.Seed)
+	if p.Variant != workloads.VariantPlain {
+		s += "/" + p.Variant.String()
+	}
+	if p.FilterProb {
+		s += "/filter-prob"
+	}
+	return s
+}
+
+// config translates the point into a sim configuration.
+func (p Point) config() (sim.Config, error) {
+	cfg := sim.Config{
+		Workload:    p.Workload,
+		Params:      workloads.Params{Scale: p.Scale},
+		Seed:        p.Seed,
+		Predictor:   p.Predictor,
+		PBS:         p.PBS,
+		FilterProb:  p.FilterProb,
+		CaptureProb: p.CaptureProb,
+		MaxInstrs:   p.MaxInstrs,
+		Variant:     p.Variant,
+		SkipTiming:  p.SkipTiming,
+	}
+	switch p.Width {
+	case 4:
+		// pipeline.FourWide is the sim default.
+	case 8:
+		core := pipeline.EightWide()
+		cfg.Core = &core
+	default:
+		return sim.Config{}, fmt.Errorf("sweep: unsupported core width %d (want 4 or 8)", p.Width)
+	}
+	return cfg, nil
+}
+
+// Points expands and validates the grid. The expansion order is
+// deterministic: workloads outermost, then variants, predictors, widths,
+// PBS, filter settings, and seeds innermost.
+func (g Grid) Points() ([]Point, error) {
+	names := g.Workloads
+	if len(names) == 0 {
+		names = workloads.Names()
+	}
+	byName := make(map[string]*workloads.Workload, len(names))
+	for _, name := range names {
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		byName[name] = w
+	}
+	preds := g.Predictors
+	if len(preds) == 0 {
+		preds = []sim.PredictorKind{sim.PredTAGESCL}
+	}
+	for _, pred := range preds {
+		if _, err := sim.NewPredictor(pred); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+	pbs := g.PBS
+	if len(pbs) == 0 {
+		pbs = []bool{false}
+	}
+	widths := g.Widths
+	if len(widths) == 0 {
+		widths = []int{4}
+	}
+	for _, w := range widths {
+		if w != 4 && w != 8 {
+			return nil, fmt.Errorf("sweep: unsupported core width %d (want 4 or 8)", w)
+		}
+	}
+	seeds := g.Seeds
+	if len(seeds) == 0 {
+		seeds = []uint64{1}
+	}
+	variants := g.Variants
+	if len(variants) == 0 {
+		variants = []workloads.Variant{workloads.VariantPlain}
+	}
+	filter := g.FilterProb
+	if len(filter) == 0 {
+		filter = []bool{false}
+	}
+	scale := g.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+
+	var pts []Point
+	for _, name := range names {
+		for _, variant := range variants {
+			if variant != workloads.VariantPlain && byName[name].BuildVariant[variant] == nil {
+				if g.SkipInapplicable {
+					continue
+				}
+				return nil, fmt.Errorf("sweep: workload %s has no %v variant (set SkipInapplicable to drop it)", name, variant)
+			}
+			for _, pred := range preds {
+				for _, width := range widths {
+					for _, on := range pbs {
+						for _, filt := range filter {
+							for _, seed := range seeds {
+								pts = append(pts, Point{
+									Key: Key{
+										Workload:   name,
+										Predictor:  pred,
+										PBS:        on,
+										Width:      width,
+										Seed:       seed,
+										Variant:    variant,
+										FilterProb: filt,
+									}.normalize(),
+									Scale:       scale,
+									SkipTiming:  g.SkipTiming,
+									CaptureProb: g.CaptureProb,
+									MaxInstrs:   g.MaxInstrs,
+								})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts, nil
+}

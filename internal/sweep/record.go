@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// Record is the flat, machine-readable form of one sweep result: the
+// point's coordinates plus the headline metrics. Timing fields are zero
+// for skip-timing points, PBS-unit fields for runs without PBS hardware.
+type Record struct {
+	Workload   string `json:"workload"`
+	Predictor  string `json:"predictor"`
+	PBS        bool   `json:"pbs"`
+	Width      int    `json:"width"`
+	Seed       uint64 `json:"seed"`
+	Variant    string `json:"variant"`
+	FilterProb bool   `json:"filter_prob,omitempty"`
+	Scale      int    `json:"scale"`
+	// SkipTiming, CaptureProb and MaxInstrs flag functional-only or
+	// truncated runs, whose metrics must not be mixed with full runs.
+	SkipTiming  bool   `json:"skip_timing,omitempty"`
+	CaptureProb bool   `json:"capture_prob,omitempty"`
+	MaxInstrs   uint64 `json:"max_instrs,omitempty"`
+
+	Instructions uint64  `json:"instructions"`
+	Cycles       uint64  `json:"cycles,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"`
+	Branches     uint64  `json:"branches,omitempty"`
+	CondBranches uint64  `json:"cond_branches,omitempty"`
+	ProbBranches uint64  `json:"prob_branches,omitempty"`
+	Mispredicts  uint64  `json:"mispredicts,omitempty"`
+	MPKI         float64 `json:"mpki,omitempty"`
+	MPKIProb     float64 `json:"mpki_prob,omitempty"`
+	MPKIReg      float64 `json:"mpki_reg,omitempty"`
+	ProbSteered  uint64  `json:"prob_steered,omitempty"`
+	ProbBoot     uint64  `json:"prob_bootstrap,omitempty"`
+	ProbRegular  uint64  `json:"prob_regular,omitempty"`
+
+	PBSAllocations    uint64 `json:"pbs_allocations,omitempty"`
+	PBSContextClears  uint64 `json:"pbs_context_clears,omitempty"`
+	PBSConstViolation uint64 `json:"pbs_const_violations,omitempty"`
+	PBSCapacityMiss   uint64 `json:"pbs_capacity_misses,omitempty"`
+
+	Outputs int `json:"outputs"`
+}
+
+// Record flattens the result for serialization.
+func (r Result) Record() Record {
+	p := r.Point.normalize()
+	m := r.Sim.Timing
+	s := r.Sim.PBSStats
+	return Record{
+		Workload:    p.Workload,
+		Predictor:   string(p.Predictor),
+		PBS:         p.PBS,
+		Width:       p.Width,
+		Seed:        p.Seed,
+		Variant:     p.Variant.String(),
+		FilterProb:  p.FilterProb,
+		Scale:       p.Scale,
+		SkipTiming:  p.SkipTiming,
+		CaptureProb: p.CaptureProb,
+		MaxInstrs:   p.MaxInstrs,
+
+		Instructions: r.Sim.Emu.Instructions,
+		Cycles:       m.Cycles,
+		IPC:          m.IPC(),
+		Branches:     m.Branches,
+		CondBranches: m.CondBranches,
+		ProbBranches: m.ProbBranches,
+		Mispredicts:  m.Mispredicts,
+		MPKI:         m.MPKI(),
+		MPKIProb:     m.MPKIProb(),
+		MPKIReg:      m.MPKIReg(),
+		ProbSteered:  m.ProbSteered,
+		ProbBoot:     m.ProbBoot,
+		ProbRegular:  m.ProbRegular,
+
+		PBSAllocations:    s.Allocations,
+		PBSContextClears:  s.ContextClears,
+		PBSConstViolation: s.ConstViolations,
+		PBSCapacityMiss:   s.CapacityMisses,
+
+		Outputs: len(r.Sim.Outputs),
+	}
+}
+
+// Records flattens every result.
+func (rs Results) Records() []Record {
+	out := make([]Record, len(rs))
+	for i, r := range rs {
+		out[i] = r.Record()
+	}
+	return out
+}
+
+// WriteJSON writes the results as an indented JSON array of records.
+func (rs Results) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rs.Records())
+}
+
+// csvColumns is the WriteCSV column order.
+var csvColumns = []string{
+	"workload", "predictor", "pbs", "width", "seed", "variant", "filter_prob", "scale",
+	"skip_timing", "capture_prob", "max_instrs",
+	"instructions", "cycles", "ipc", "branches", "cond_branches", "prob_branches",
+	"mispredicts", "mpki", "mpki_prob", "mpki_reg",
+	"prob_steered", "prob_bootstrap", "prob_regular",
+	"pbs_allocations", "pbs_context_clears", "pbs_const_violations", "pbs_capacity_misses",
+	"outputs",
+}
+
+// WriteCSV writes the results as CSV with a header row.
+func (rs Results) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvColumns); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, r := range rs {
+		rec := r.Record()
+		row := []string{
+			rec.Workload, rec.Predictor, strconv.FormatBool(rec.PBS),
+			strconv.Itoa(rec.Width), u(rec.Seed), rec.Variant,
+			strconv.FormatBool(rec.FilterProb), strconv.Itoa(rec.Scale),
+			strconv.FormatBool(rec.SkipTiming), strconv.FormatBool(rec.CaptureProb), u(rec.MaxInstrs),
+			u(rec.Instructions), u(rec.Cycles), f(rec.IPC),
+			u(rec.Branches), u(rec.CondBranches), u(rec.ProbBranches),
+			u(rec.Mispredicts), f(rec.MPKI), f(rec.MPKIProb), f(rec.MPKIReg),
+			u(rec.ProbSteered), u(rec.ProbBoot), u(rec.ProbRegular),
+			u(rec.PBSAllocations), u(rec.PBSContextClears),
+			u(rec.PBSConstViolation), u(rec.PBSCapacityMiss),
+			strconv.Itoa(rec.Outputs),
+		}
+		if len(row) != len(csvColumns) {
+			return fmt.Errorf("sweep: csv row has %d fields, header has %d", len(row), len(csvColumns))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

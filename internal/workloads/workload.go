@@ -77,6 +77,46 @@ const (
 	VariantCFD
 )
 
+// String names the variant ("plain", "predicated", "cfd").
+func (v Variant) String() string {
+	switch v {
+	case VariantPlain:
+		return "plain"
+	case VariantPredicated:
+		return "predicated"
+	case VariantCFD:
+		return "cfd"
+	}
+	return fmt.Sprintf("variant(%d)", int(v))
+}
+
+// VariantByName resolves a variant name; the empty string means plain.
+func VariantByName(name string) (Variant, error) {
+	switch name {
+	case "plain", "":
+		return VariantPlain, nil
+	case "predicated":
+		return VariantPredicated, nil
+	case "cfd":
+		return VariantCFD, nil
+	}
+	return 0, fmt.Errorf("workloads: unknown variant %q", name)
+}
+
+// MarshalText encodes the variant by name, so grid specifications and
+// sweep records carry "predicated" rather than a bare integer.
+func (v Variant) MarshalText() ([]byte, error) { return []byte(v.String()), nil }
+
+// UnmarshalText decodes a variant name.
+func (v *Variant) UnmarshalText(b []byte) error {
+	parsed, err := VariantByName(string(b))
+	if err != nil {
+		return err
+	}
+	*v = parsed
+	return nil
+}
+
 // Workload describes one benchmark.
 type Workload struct {
 	Name        string
