@@ -1,9 +1,13 @@
 // Command pbsim runs one benchmark on the simulated machine and prints
-// branch and timing metrics, with and without PBS as requested.
+// branch and timing metrics, with and without PBS as requested. With
+// -sample N it prints an interval snapshot of the live machine every N
+// retired instructions (IPC, MPKI and steering time-series).
 //
 // Usage:
 //
 //	pbsim -workload PI -predictor tage-sc-l -pbs -seed 7 -scale 2 -wide 8
+//	pbsim -workload PI -pbs -sample 500000
+//	pbsim -workload PI -predictor always-taken
 package main
 
 import (
@@ -11,7 +15,9 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strings"
 
+	"repro/internal/branch"
 	"repro/internal/pipeline"
 	"repro/internal/sim"
 	"repro/internal/workloads"
@@ -20,13 +26,14 @@ import (
 func main() {
 	var (
 		workload  = flag.String("workload", "PI", "benchmark name (see -list)")
-		predictor = flag.String("predictor", "tage-sc-l", "branch predictor: tournament | tage-sc-l | always-taken")
+		predictor = flag.String("predictor", "tage-sc-l", "branch predictor: "+strings.Join(branch.Names(), " | "))
 		pbs       = flag.Bool("pbs", false, "enable PBS hardware")
 		seed      = flag.Uint64("seed", 1, "machine RNG seed")
 		scale     = flag.Int("scale", 1, "iteration scale factor")
 		wide      = flag.Int("wide", 4, "core width: 4 (168-entry ROB) or 8 (256-entry ROB)")
 		filter    = flag.Bool("filter-prob", false, "exclude probabilistic branches from the predictor (Fig 9 experiment)")
-		list      = flag.Bool("list", false, "list benchmarks and exit")
+		sample    = flag.Uint64("sample", 0, "print an interval snapshot every N retired instructions (0 = off)")
+		list      = flag.Bool("list", false, "list benchmarks and predictors, then exit")
 		dump      = flag.Bool("dump", false, "print the program disassembly and exit")
 	)
 	flag.Parse()
@@ -36,22 +43,21 @@ func main() {
 			fmt.Printf("%-12s category %d, %d probabilistic branch(es): %s\n",
 				w.Name, w.Category, w.ProbBranches, w.Description)
 		}
+		fmt.Printf("predictors:  %s\n", strings.Join(branch.Names(), ", "))
 		return
 	}
 
-	cfg := sim.Config{
-		Workload:   *workload,
-		Params:     workloads.Params{Scale: *scale},
-		Seed:       *seed,
-		Predictor:  sim.PredictorKind(*predictor),
-		PBS:        *pbs,
-		FilterProb: *filter,
+	opts := []sim.Option{
+		sim.WithScale(*scale),
+		sim.WithSeed(*seed),
+		sim.WithPredictor(sim.PredictorKind(*predictor)),
+		sim.WithPBS(*pbs),
+		sim.WithFilterProb(*filter),
 	}
 	switch *wide {
 	case 4:
 	case 8:
-		core := pipeline.EightWide()
-		cfg.Core = &core
+		opts = append(opts, sim.WithCore(pipeline.EightWide()))
 	default:
 		fmt.Fprintln(os.Stderr, "pbsim: -wide must be 4 or 8")
 		os.Exit(2)
@@ -60,23 +66,38 @@ func main() {
 	if *dump {
 		w, err := workloads.ByName(*workload)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pbsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		prog, err := w.Build(workloads.Params{Scale: *scale}, true)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "pbsim:", err)
-			os.Exit(1)
+			fail(err)
 		}
 		fmt.Print(prog.Disassemble())
 		return
 	}
 
-	res, err := sim.Run(cfg)
+	s, err := sim.New(*workload, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "pbsim:", err)
-		os.Exit(1)
+		fail(err)
 	}
+	if *sample > 0 {
+		fmt.Printf("%12s  %7s  %7s  %7s  %7s  %8s\n",
+			"instrs", "IPC", "MPKI", "prob", "reg", "steered%")
+		err := s.Observe(*sample, func(snap sim.Snapshot) {
+			d := snap.Delta
+			fmt.Printf("%12d  %7.3f  %7.2f  %7.2f  %7.2f  %8.1f\n",
+				snap.Total.Instructions, d.IPC(), d.MPKI(), d.MPKIProb(), d.MPKIReg(),
+				100*d.SteerRate())
+		})
+		if err != nil {
+			fail(err)
+		}
+	}
+	if err := s.Run(); err != nil {
+		fail(err)
+	}
+	res := s.Result()
+
 	m := res.Timing
 	fmt.Printf("workload      %s (PBS %v, %s predictor, %d-wide)\n", res.Workload, *pbs, *predictor, *wide)
 	fmt.Printf("instructions  %d\n", m.Instructions)
@@ -98,8 +119,11 @@ func main() {
 			fmt.Printf("  ... (%d more)\n", len(res.Outputs)-8)
 			break
 		}
-		fmt.Printf("  out[%d] = %g\n", i, float64frombits(v))
+		fmt.Printf("  out[%d] = %g\n", i, math.Float64frombits(v))
 	}
 }
 
-func float64frombits(v uint64) float64 { return math.Float64frombits(v) }
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "pbsim:", err)
+	os.Exit(1)
+}

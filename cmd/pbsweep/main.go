@@ -27,6 +27,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/branch"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
@@ -36,7 +37,7 @@ func main() {
 	var (
 		spec      = flag.String("spec", "", "JSON grid specification file (overrides the grid flags; -parallel still applies)")
 		workload  = flag.String("workloads", "all", "comma-separated benchmark names, or \"all\"")
-		predictor = flag.String("predictors", "tage-sc-l,tournament", "comma-separated predictors: tournament | tage-sc-l | always-taken")
+		predictor = flag.String("predictors", "tage-sc-l,tournament", "comma-separated predictors: "+strings.Join(branch.Names(), " | "))
 		pbs       = flag.String("pbs", "both", "PBS hardware: on | off | both")
 		widths    = flag.String("widths", "4", "comma-separated core widths (4 and/or 8)")
 		seeds     = flag.String("seeds", "1", "comma-separated machine RNG seeds")
@@ -55,7 +56,7 @@ func main() {
 			fmt.Printf("%-12s category %d, %d probabilistic branch(es): %s\n",
 				w.Name, w.Category, w.ProbBranches, w.Description)
 		}
-		fmt.Printf("predictors:  %s, %s, %s\n", sim.PredTournament, sim.PredTAGESCL, sim.PredAlways)
+		fmt.Printf("predictors:  %s\n", strings.Join(branch.Names(), ", "))
 		fmt.Println("variants:    plain, predicated, cfd")
 		return
 	}

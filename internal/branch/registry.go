@@ -1,0 +1,76 @@
+package branch
+
+import (
+	"fmt"
+	"sync"
+)
+
+// The predictor registry maps names to factories so new predictors plug
+// into the simulation stack (sim.Session, sweep grids, the CLIs) without
+// editing a switch statement anywhere. The built-in predictors register
+// themselves at package initialization; external packages add their own
+// with Register.
+var (
+	regMu      sync.RWMutex
+	registry   = make(map[string]func() Predictor)
+	regOrder   []string
+	builtinReg = [...]struct {
+		name    string
+		factory func() Predictor
+	}{
+		{"tournament", func() Predictor { return NewTournament() }},
+		{"tage-sc-l", func() Predictor { return NewTAGESCL() }},
+		{"always-taken", func() Predictor { return AlwaysTaken{} }},
+		{"never-taken", func() Predictor { return NeverTaken{} }},
+	}
+)
+
+func init() {
+	for _, b := range builtinReg {
+		if err := Register(b.name, b.factory); err != nil {
+			panic(err)
+		}
+	}
+}
+
+// Register adds a predictor factory under name. Each call to the factory
+// must return a fresh predictor in its power-on state. Registering an
+// empty name, a nil factory, or a name already taken is an error; names
+// are case-sensitive. Safe for concurrent use.
+func Register(name string, factory func() Predictor) error {
+	if name == "" {
+		return fmt.Errorf("branch: Register with empty predictor name")
+	}
+	if factory == nil {
+		return fmt.Errorf("branch: Register %q with nil factory", name)
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		return fmt.Errorf("branch: predictor %q already registered", name)
+	}
+	registry[name] = factory
+	regOrder = append(regOrder, name)
+	return nil
+}
+
+// New instantiates a fresh predictor by registered name.
+func New(name string) (Predictor, error) {
+	regMu.RLock()
+	factory := registry[name]
+	regMu.RUnlock()
+	if factory == nil {
+		return nil, fmt.Errorf("branch: unknown predictor %q (registered: %v)", name, Names())
+	}
+	return factory(), nil
+}
+
+// Names lists the registered predictor names in registration order (the
+// built-ins first, in the order the paper discusses them).
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, len(regOrder))
+	copy(out, regOrder)
+	return out
+}

@@ -1,0 +1,70 @@
+package branch
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Names()
+	for _, want := range []string{"tournament", "tage-sc-l", "always-taken", "never-taken"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin %q missing from registry %v", want, names)
+		}
+		p, err := New(want)
+		if err != nil {
+			t.Fatalf("New(%q): %v", want, err)
+		}
+		if p.Name() != want {
+			t.Errorf("New(%q).Name() = %q", want, p.Name())
+		}
+	}
+	// Factories return fresh instances, not shared state.
+	a, _ := New("tournament")
+	b, _ := New("tournament")
+	if a == b {
+		t.Error("factory returned a shared predictor instance")
+	}
+}
+
+func TestRegistryErrors(t *testing.T) {
+	if _, err := New("no-such-predictor"); err == nil || !strings.Contains(err.Error(), "unknown predictor") {
+		t.Errorf("unknown name: %v", err)
+	}
+	if err := Register("", func() Predictor { return AlwaysTaken{} }); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := Register("registry-test-nilfactory", nil); err == nil {
+		t.Error("nil factory accepted")
+	}
+	if err := Register("tage-sc-l", func() Predictor { return AlwaysTaken{} }); err == nil ||
+		!strings.Contains(err.Error(), "already registered") {
+		t.Errorf("duplicate registration: %v", err)
+	}
+}
+
+func TestRegisterCustomPredictor(t *testing.T) {
+	const name = "registry-test-custom"
+	// With -count > 1 the global registry already holds the name from the
+	// previous run; only an unexpected error is fatal.
+	if err := Register(name, func() Predictor { return NeverTaken{} }); err != nil &&
+		!strings.Contains(err.Error(), "already registered") {
+		t.Fatal(err)
+	}
+	if err := Register(name, func() Predictor { return NeverTaken{} }); err == nil {
+		t.Error("second registration of the same name accepted")
+	}
+	p, err := New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Predict(0) {
+		t.Error("wrong factory resolved")
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// SeriesPoint is one interval sample of a live simulation: the paper's
+// headline metrics over the preceding interval plus their running
+// cumulative values. The interval columns expose the warm-up dynamics
+// the aggregate figures average away — the PBS unit bootstrapping its
+// Prob-BTB entries, steering kicking in, and the misprediction rate
+// collapsing.
+type SeriesPoint struct {
+	Instructions uint64 // cumulative retired instructions at the sample
+
+	IPC      float64 // interval IPC
+	MPKI     float64 // interval total MPKI
+	MPKIProb float64 // interval probabilistic-branch MPKI
+	MPKIReg  float64 // interval regular-branch MPKI
+	Steered  float64 // interval fraction of probabilistic branches steered
+
+	CumIPC  float64 // cumulative IPC up to the sample
+	CumMPKI float64 // cumulative MPKI up to the sample
+}
+
+// Series is an IPC/misprediction time-series for one configuration: a
+// scenario class the one-shot harness could not express, produced by
+// interval observation of a sim.Session.
+type Series struct {
+	Workload string
+	PBS      bool
+	Interval uint64
+	Points   []SeriesPoint
+}
+
+// TimeSeries runs one workload and samples the machine every interval
+// retired instructions via Session.Observe, returning the interval and
+// cumulative metric series. A trailing partial interval is sampled too.
+func TimeSeries(workload string, pbs bool, interval uint64, opt Options) (*Series, error) {
+	if interval == 0 {
+		return nil, fmt.Errorf("experiments: TimeSeries interval must be positive")
+	}
+	s, err := sim.New(workload,
+		sim.WithScale(opt.Scale),
+		sim.WithSeed(opt.seed0()),
+		sim.WithPBS(pbs),
+	)
+	if err != nil {
+		return nil, err
+	}
+	out := &Series{Workload: workload, PBS: pbs, Interval: interval}
+	var last sim.Metrics
+	sample := func(total, delta sim.Metrics) {
+		out.Points = append(out.Points, SeriesPoint{
+			Instructions: total.Instructions,
+			IPC:          delta.IPC(),
+			MPKI:         delta.MPKI(),
+			MPKIProb:     delta.MPKIProb(),
+			MPKIReg:      delta.MPKIReg(),
+			Steered:      delta.SteerRate(),
+			CumIPC:       total.IPC(),
+			CumMPKI:      total.MPKI(),
+		})
+		last = total
+	}
+	if err := s.Observe(interval, func(snap sim.Snapshot) { sample(snap.Total, snap.Delta) }); err != nil {
+		return nil, err
+	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	// Close with the partial final interval, if the program did not halt
+	// exactly on a boundary.
+	if final := s.Snapshot().Total; final.Instructions > last.Instructions {
+		sample(final, final.Delta(last))
+	}
+	return out, nil
+}
+
+// String renders the series as a fixed-width table.
+func (s *Series) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Time-series: %s, PBS %v, sampled every %d instructions\n", s.Workload, s.PBS, s.Interval)
+	header(&sb, "instrs", "IPC", "MPKI", "prob", "reg", "steered", "cum IPC", "cum MPKI")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%-14d%-14.3f%-14.2f%-14.2f%-14.2f%-14.1f%-14.3f%-14.2f\n",
+			p.Instructions, p.IPC, p.MPKI, p.MPKIProb, p.MPKIReg, 100*p.Steered, p.CumIPC, p.CumMPKI)
+	}
+	return sb.String()
+}

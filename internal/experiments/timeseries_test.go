@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTimeSeries(t *testing.T) {
+	const interval = 250_000
+	ts, err := TimeSeries("PI", true, interval, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts.Points) < 4 {
+		t.Fatalf("only %d samples at interval %d", len(ts.Points), interval)
+	}
+	for i, p := range ts.Points {
+		if p.IPC <= 0 {
+			t.Errorf("sample %d: interval IPC %.3f", i, p.IPC)
+		}
+		if i > 0 && p.Instructions <= ts.Points[i-1].Instructions {
+			t.Errorf("sample %d not monotone in instructions", i)
+		}
+	}
+	// The PBS warm-up dynamic: by the last interval steering is active
+	// and the probabilistic MPKI far below the first interval's.
+	first, lastFull := ts.Points[0], ts.Points[len(ts.Points)-2]
+	if lastFull.Steered < 0.9 {
+		t.Errorf("steering never warmed up: %.2f of prob branches steered in the last full interval", lastFull.Steered)
+	}
+	if lastFull.MPKIProb > first.MPKIProb/2 {
+		t.Errorf("prob MPKI did not collapse: first interval %.2f, last full %.2f", first.MPKIProb, lastFull.MPKIProb)
+	}
+	if testing.Verbose() {
+		fmt.Println(ts)
+	}
+
+	if _, err := TimeSeries("PI", true, 0, QuickOptions()); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

@@ -1,8 +1,12 @@
-// Package sim is the top-level simulation harness: it builds a workload
-// program, attaches the PBS unit and a branch predictor, runs the
-// functional emulator with the out-of-order timing model listening, and
-// returns the combined metrics. Every experiment in the paper's evaluation
-// (Figures 1, 6-9, Tables II-III, §VII-D) is a set of sim.Run calls.
+// Package sim is the top-level simulation harness. Its heart is the
+// Session: a live machine built with sim.New and functional options that
+// wires a workload program, the PBS unit, a branch predictor and the
+// out-of-order timing model together, supports incremental stepping
+// (RunFor), interval observation of a unified metrics view (Observe,
+// Snapshot), and runs to completion with Run. The one-shot Run(Config)
+// entry point every experiment in the paper's evaluation (Figures 1,
+// 6-9, Tables II-III, §VII-D) uses is a thin wrapper over a Session and
+// produces byte-identical results.
 package sim
 
 import (
@@ -13,31 +17,23 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
-	"repro/internal/rng"
 	"repro/internal/workloads"
 )
 
-// PredictorKind selects the front-end predictor.
+// PredictorKind names a front-end predictor in the branch package's
+// registry (see branch.Register and branch.Names).
 type PredictorKind string
 
-// Supported predictors.
+// The predictors the paper evaluates (more may be registered).
 const (
 	PredTournament PredictorKind = "tournament"
 	PredTAGESCL    PredictorKind = "tage-sc-l"
 	PredAlways     PredictorKind = "always-taken"
 )
 
-// NewPredictor instantiates a predictor by kind.
+// NewPredictor instantiates a predictor by registered name.
 func NewPredictor(kind PredictorKind) (branch.Predictor, error) {
-	switch kind {
-	case PredTournament:
-		return branch.NewTournament(), nil
-	case PredTAGESCL:
-		return branch.NewTAGESCL(), nil
-	case PredAlways:
-		return branch.AlwaysTaken{}, nil
-	}
-	return nil, fmt.Errorf("sim: unknown predictor %q", kind)
+	return branch.New(string(kind))
 }
 
 // Config describes one simulation run.
@@ -69,10 +65,10 @@ type Config struct {
 	// ordinary program.
 	Variant workloads.Variant
 	// Program, when non-nil, is executed instead of assembling
-	// Workload/Params/Variant from scratch; it must be the program
-	// BuildProgram would return for them. A run never mutates a program,
-	// so one build may be shared read-only by any number of concurrent
-	// simulations (internal/sweep caches programs this way).
+	// Workload/Params/Variant from scratch; Workload is then only a label
+	// and need not name a registered workload. A run never mutates a
+	// program, so one build may be shared read-only by any number of
+	// concurrent simulations (internal/sweep caches programs this way).
 	Program *isa.Program
 	// SkipTiming runs only the functional emulator (for accuracy and
 	// randomness experiments, which need no pipeline).
@@ -119,78 +115,17 @@ func BuildProgram(workload string, params workloads.Params, variant workloads.Va
 	}
 }
 
-// Run executes one configuration.
+// Run executes one configuration to completion: a thin compatibility
+// wrapper that builds a Session from cfg and runs it, producing results
+// byte-identical to the pre-Session one-shot harness. With cfg.Program
+// set, the workload name is only a label and need not be registered.
 func Run(cfg Config) (*Result, error) {
-	w, err := workloads.ByName(cfg.Workload)
+	s, err := newSession(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	prog := cfg.Program
-	if prog == nil {
-		prog, err = BuildProgram(cfg.Workload, cfg.Params, cfg.Variant)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	var unit *core.Unit
-	if cfg.PBS {
-		pbsCfg := core.DefaultConfig()
-		if cfg.PBSConfig != nil {
-			pbsCfg = *cfg.PBSConfig
-		}
-		unit, err = core.NewUnit(pbsCfg)
-		if err != nil {
-			return nil, err
-		}
-	}
-
-	cpu, err := emu.New(prog, rng.New(cfg.Seed), unit)
-	if err != nil {
+	if err := s.Run(); err != nil {
 		return nil, err
 	}
-	cpu.CaptureProb = cfg.CaptureProb
-
-	var pipe *pipeline.Pipeline
-	if !cfg.SkipTiming {
-		pcfg := pipeline.FourWide()
-		if cfg.Core != nil {
-			pcfg = *cfg.Core
-		}
-		pcfg.FilterProb = cfg.FilterProb
-		predKind := cfg.Predictor
-		if predKind == "" {
-			predKind = PredTAGESCL
-		}
-		pred, err := NewPredictor(predKind)
-		if err != nil {
-			return nil, err
-		}
-		pipe, err = pipeline.New(pcfg, prog, pred)
-		if err != nil {
-			return nil, err
-		}
-		cpu.SetListener(pipe.OnRetire)
-	}
-
-	if err := cpu.Run(cfg.MaxInstrs); err != nil {
-		return nil, fmt.Errorf("sim: %s: %w", w.Name, err)
-	}
-
-	res := &Result{
-		Workload:  w.Name,
-		Program:   prog,
-		Emu:       cpu.Stats(),
-		Outputs:   cpu.Output(),
-		Generated: cpu.Generated,
-		Consumed:  cpu.Consumed,
-	}
-	if pipe != nil {
-		res.Timing = pipe.Metrics()
-	}
-	if unit != nil {
-		res.PBSStats = unit.Stats()
-	}
-	return res, nil
+	return s.Result(), nil
 }

@@ -160,7 +160,9 @@ dispatch:
 	return out, nil
 }
 
-// runPoint executes one point, consulting the caches.
+// runPoint executes one point through a sim.Session, consulting the
+// caches. Cached programs are shared read-only across the concurrently
+// running sessions of the worker pool.
 func (e *Engine) runPoint(p Point) (*sim.Result, error) {
 	p = p.normalize()
 	memoize := e.Results != nil && !p.CaptureProb
@@ -169,7 +171,7 @@ func (e *Engine) runPoint(p Point) (*sim.Result, error) {
 			return res, nil
 		}
 	}
-	cfg, err := p.config()
+	opts, err := p.Options()
 	if err != nil {
 		return nil, err
 	}
@@ -178,12 +180,16 @@ func (e *Engine) runPoint(p Point) (*sim.Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		cfg.Program = prog
+		opts = append(opts, sim.WithProgram(prog))
 	}
-	res, err := sim.Run(cfg)
+	s, err := sim.New(p.Workload, opts...)
 	if err != nil {
 		return nil, err
 	}
+	if err := s.Run(); err != nil {
+		return nil, err
+	}
+	res := s.Result()
 	if memoize {
 		e.Results.put(p, res)
 	}

@@ -106,30 +106,31 @@ func (p Point) String() string {
 	return s
 }
 
-// config translates the point into a sim configuration.
-func (p Point) config() (sim.Config, error) {
-	cfg := sim.Config{
-		Workload:    p.Workload,
-		Params:      workloads.Params{Scale: p.Scale},
-		Seed:        p.Seed,
-		Predictor:   p.Predictor,
-		PBS:         p.PBS,
-		FilterProb:  p.FilterProb,
-		CaptureProb: p.CaptureProb,
-		MaxInstrs:   p.MaxInstrs,
-		Variant:     p.Variant,
-		SkipTiming:  p.SkipTiming,
+// Options translates the point into session options for sim.New; append
+// sim.WithProgram to run a cached program build.
+func (p Point) Options() ([]sim.Option, error) {
+	opts := []sim.Option{
+		sim.WithScale(p.Scale),
+		sim.WithSeed(p.Seed),
+		sim.WithPredictor(p.Predictor),
+		sim.WithVariant(p.Variant),
+		sim.WithPBS(p.PBS),
+		sim.WithFilterProb(p.FilterProb),
+		sim.WithCaptureProb(p.CaptureProb),
+		sim.WithMaxInstrs(p.MaxInstrs),
+	}
+	if p.SkipTiming {
+		opts = append(opts, sim.WithoutTiming())
 	}
 	switch p.Width {
 	case 4:
 		// pipeline.FourWide is the sim default.
 	case 8:
-		core := pipeline.EightWide()
-		cfg.Core = &core
+		opts = append(opts, sim.WithCore(pipeline.EightWide()))
 	default:
-		return sim.Config{}, fmt.Errorf("sweep: unsupported core width %d (want 4 or 8)", p.Width)
+		return nil, fmt.Errorf("sweep: unsupported core width %d (want 4 or 8)", p.Width)
 	}
-	return cfg, nil
+	return opts, nil
 }
 
 // Points expands and validates the grid. The expansion order is
