@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/branch"
 	"repro/internal/pipeline"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -35,8 +36,21 @@ func main() {
 		sample    = flag.Uint64("sample", 0, "print an interval snapshot every N retired instructions (0 = off)")
 		list      = flag.Bool("list", false, "list benchmarks and predictors, then exit")
 		dump      = flag.Bool("dump", false, "print the program disassembly and exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fail(err)
+	}
+	profStop = stopProf // fail() finishes the profiles on error exits too
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -123,7 +137,14 @@ func main() {
 	}
 }
 
+// profStop finishes any active pprof profiles (idempotent; see
+// prof.Start). fail runs it so os.Exit does not truncate profile files.
+var profStop = func() error { return nil }
+
 func fail(err error) {
+	if perr := profStop(); perr != nil {
+		fmt.Fprintln(os.Stderr, "pbsim:", perr)
+	}
 	fmt.Fprintln(os.Stderr, "pbsim:", err)
 	os.Exit(1)
 }

@@ -28,6 +28,7 @@ import (
 	"sync"
 
 	"repro/internal/branch"
+	"repro/internal/prof"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
@@ -48,8 +49,21 @@ func main() {
 		out       = flag.String("o", "", "output file (default stdout)")
 		progress  = flag.Bool("progress", true, "report progress on stderr")
 		list      = flag.Bool("list", false, "list benchmarks and predictors, then exit")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprof, *memprof)
+	if err != nil {
+		fail(err)
+	}
+	profStop = stopProf // fail() finishes the profiles on error exits too
+	defer func() {
+		if err := stopProf(); err != nil {
+			fail(err)
+		}
+	}()
 
 	if *list {
 		for _, w := range workloads.All() {
@@ -200,7 +214,14 @@ func splitCSV(s string) []string {
 	return out
 }
 
+// profStop finishes any active pprof profiles (idempotent; see
+// prof.Start). fail runs it so os.Exit does not truncate profile files.
+var profStop = func() error { return nil }
+
 func fail(err error) {
+	if perr := profStop(); perr != nil {
+		fmt.Fprintln(os.Stderr, "pbsweep:", perr)
+	}
 	fmt.Fprintln(os.Stderr, "pbsweep:", err)
 	os.Exit(1)
 }

@@ -1,0 +1,93 @@
+package branch
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// benchStream is a deterministic synthetic branch stream: a mix of
+// biased, patterned and data-dependent branch sites, roughly the shape
+// the workloads produce.
+type benchStream struct {
+	pcs   []uint64
+	taken []bool
+}
+
+func newBenchStream(n int) benchStream {
+	r := rng.New(42)
+	s := benchStream{pcs: make([]uint64, n), taken: make([]bool, n)}
+	sites := []struct {
+		pc   uint64
+		bias float64
+	}{
+		{12, 0.98},  // loop back-edge
+		{47, 0.5},   // data-dependent coin flip
+		{93, 0.85},  // biased if
+		{130, 0.02}, // rarely-taken guard
+		{211, 0.6},
+	}
+	for i := range s.pcs {
+		site := sites[i%len(sites)]
+		s.pcs[i] = site.pc
+		if site.pc == 12 {
+			// Fixed trip-count loop: taken 19 of every 20 instances.
+			s.taken[i] = (i/len(sites))%20 != 19
+		} else {
+			s.taken[i] = r.Float64() < site.bias
+		}
+	}
+	return s
+}
+
+// BenchmarkTAGEPredict measures one Predict+Update round trip of the
+// TAGE-SC-L predictor on a synthetic branch stream. The retire path calls
+// this pair for every non-steered conditional branch, so it must be
+// allocation-free: allocs/op is the regression gate.
+func BenchmarkTAGEPredict(b *testing.B) {
+	s := newBenchStream(1 << 16)
+	t := NewTAGESCL()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & (len(s.pcs) - 1)
+		pred := t.Predict(s.pcs[k])
+		t.Update(s.pcs[k], s.taken[k], pred)
+	}
+}
+
+// BenchmarkTournamentPredict is the same round trip on the ~1 KB
+// tournament predictor, for comparison.
+func BenchmarkTournamentPredict(b *testing.B) {
+	s := newBenchStream(1 << 16)
+	t := NewTournament()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := i & (len(s.pcs) - 1)
+		pred := t.Predict(s.pcs[k])
+		t.Update(s.pcs[k], s.taken[k], pred)
+	}
+}
+
+// TestTAGEPredictAllocationFree pins the allocation-free property outside
+// the bench suite so plain `go test` catches regressions.
+func TestTAGEPredictAllocationFree(t *testing.T) {
+	s := newBenchStream(4096)
+	p := NewTAGESCL()
+	// Warm up so table allocation paths (which are construction-time
+	// only) are not charged.
+	for i := range s.pcs {
+		pred := p.Predict(s.pcs[i])
+		p.Update(s.pcs[i], s.taken[i], pred)
+	}
+	avg := testing.AllocsPerRun(2000, func() {
+		for i := 0; i < len(s.pcs); i += 7 {
+			pred := p.Predict(s.pcs[i])
+			p.Update(s.pcs[i], s.taken[i], pred)
+		}
+	})
+	if avg != 0 {
+		t.Fatalf("Predict/Update allocates: %v allocs per run", avg)
+	}
+}

@@ -251,7 +251,7 @@ func TestFoldedHistoryMatchesDirect(t *testing.T) {
 		var direct uint32
 		for j := 12; j >= 0; j-- {
 			direct = ((direct << 1) | (direct >> 4)) & 0x1f
-			direct ^= uint32(h.at(j))
+			direct ^= uint32(h.at(uint32(j)))
 		}
 		if f.comp != direct {
 			t.Fatalf("folded history diverged at step %d: %x vs %x", i, f.comp, direct)

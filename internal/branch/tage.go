@@ -11,20 +11,22 @@ package branch
 // longest table history).
 const histBufSize = 256
 
-// histBuf is a circular shift register of branch outcomes.
+// histBuf is a circular shift register of branch outcomes. histBufSize is
+// a power of two so position arithmetic is a mask, not a division — the
+// folded-history updates walk this buffer 21 times per predictor update.
 type histBuf struct {
 	bits [histBufSize]uint8
-	ptr  int
+	ptr  uint32
 }
 
 func (h *histBuf) push(bit uint8) {
-	h.ptr = (h.ptr - 1 + histBufSize) % histBufSize
+	h.ptr = (h.ptr - 1) & (histBufSize - 1)
 	h.bits[h.ptr] = bit
 }
 
 // at returns the bit i positions back (0 = most recent).
-func (h *histBuf) at(i int) uint8 {
-	return h.bits[(h.ptr+i)%histBufSize]
+func (h *histBuf) at(i uint32) uint8 {
+	return h.bits[(h.ptr+i)&(histBufSize-1)]
 }
 
 // foldedHist incrementally folds origLen bits of global history into
@@ -42,7 +44,7 @@ func newFolded(origLen, compLen uint) foldedHist {
 
 func (f *foldedHist) update(h *histBuf) {
 	f.comp = (f.comp << 1) | uint32(h.at(0))
-	f.comp ^= uint32(h.at(int(f.origLen))) << f.outpoint
+	f.comp ^= uint32(h.at(uint32(f.origLen))) << f.outpoint
 	f.comp ^= f.comp >> f.compLen
 	f.comp &= (1 << f.compLen) - 1
 }
@@ -114,6 +116,15 @@ type TAGESCL struct {
 
 	// prediction state carried from Predict to Update
 	p tagePredState
+
+	// Per-PC index/tag computations shared between Predict and Update:
+	// Predict fills these once per branch and Update's training and
+	// allocation paths reuse them instead of re-hashing. Valid because
+	// the folded histories only advance at the end of Update. Allocated
+	// at construction so the hot path never allocates.
+	idxBuf   []uint32
+	tagBuf   []uint16
+	scIdxBuf []int
 }
 
 type tagePredState struct {
@@ -124,6 +135,7 @@ type tagePredState struct {
 	weak       bool
 	scSum      int32
 	scUsed     bool
+	scBiasIdx  int
 	loopHit    bool
 	loopPred   bool
 	finalPred  bool
@@ -157,6 +169,9 @@ func NewTAGESCLSized(baseBits, idxBits, tagBits uint, histLens []uint, loopEntri
 		t.scFolds = append(t.scFolds, newFolded(l, 8))
 	}
 	t.scThresh = 2*int32(len(t.scTables)+1) + 1
+	t.idxBuf = make([]uint32, len(t.tables))
+	t.tagBuf = make([]uint16, len(t.tables))
+	t.scIdxBuf = make([]int, len(t.scTables))
 	t.Reset()
 	return t
 }
@@ -187,13 +202,21 @@ func (t *TAGESCL) scIndex(i int, pc uint64) int {
 func (t *TAGESCL) Predict(pc uint64) bool {
 	p := tagePredState{provider: -1}
 
+	// Hash every table's index and tag for this PC once; Update reuses
+	// the buffers for training and allocation (the folded histories do
+	// not advance until the end of Update, so the values stay exact).
+	for i, tb := range t.tables {
+		t.idxBuf[i] = tb.index(pc)
+		t.tagBuf[i] = tb.tag(pc)
+	}
+
 	// TAGE lookup: longest history match provides, next match is alt.
 	p.altPred = t.basePred(pc)
 	altSet := false
 	for i := len(t.tables) - 1; i >= 0; i-- {
 		tb := t.tables[i]
-		ix := tb.index(pc)
-		if tb.entries[ix].tag == tb.tag(pc) {
+		ix := t.idxBuf[i]
+		if tb.entries[ix].tag == t.tagBuf[i] {
 			if p.provider < 0 {
 				p.provider = i
 				p.providerIx = ix
@@ -216,9 +239,11 @@ func (t *TAGESCL) Predict(pc uint64) bool {
 	}
 
 	// Statistical corrector.
-	sum := int32(2*t.scBias[t.scIndexBias(pc, p.tagePred)]) + 1
+	p.scBiasIdx = t.scIndexBias(pc, p.tagePred)
+	sum := int32(2*t.scBias[p.scBiasIdx]) + 1
 	for i := range t.scTables {
-		sum += int32(2*t.scTables[i][t.scIndex(i, pc)]) + 1
+		t.scIdxBuf[i] = t.scIndex(i, pc)
+		sum += int32(2*t.scTables[i][t.scIdxBuf[i]]) + 1
 	}
 	if !p.tagePred {
 		sum = -sum
@@ -259,10 +284,10 @@ func (t *TAGESCL) Update(pc uint64, taken, _ bool) {
 		mag = -mag
 	}
 	if scPred != taken || mag < t.scThresh {
-		i := t.scIndexBias(pc, p.tagePred)
+		i := p.scBiasIdx
 		t.scBias[i] = sctrUpdate(t.scBias[i], taken, 31)
 		for k := range t.scTables {
-			j := t.scIndex(k, pc)
+			j := t.scIdxBuf[k]
 			t.scTables[k][j] = sctrUpdate(t.scTables[k][j], taken, 31)
 		}
 	}
@@ -325,9 +350,9 @@ func (t *TAGESCL) Update(pc uint64, taken, _ bool) {
 		allocated := false
 		for i := start; i < len(t.tables); i++ {
 			tb := t.tables[i]
-			ix := tb.index(pc)
+			ix := t.idxBuf[i]
 			if tb.entries[ix].u == 0 {
-				tb.entries[ix] = tageEntry{tag: tb.tag(pc), ctr: ctrInit(taken)}
+				tb.entries[ix] = tageEntry{tag: t.tagBuf[i], ctr: ctrInit(taken)}
 				allocated = true
 				break
 			}
@@ -335,7 +360,7 @@ func (t *TAGESCL) Update(pc uint64, taken, _ bool) {
 		if !allocated {
 			for i := start; i < len(t.tables); i++ {
 				tb := t.tables[i]
-				ix := tb.index(pc)
+				ix := t.idxBuf[i]
 				tb.entries[ix].u = ctrDec(tb.entries[ix].u)
 			}
 		}

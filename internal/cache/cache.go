@@ -74,19 +74,24 @@ func New(cfg Config) (*Cache, error) {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Access looks up addr, filling the line on a miss, and reports whether it
-// hit.
+// hit. The hit scan does no victim bookkeeping — the timing model calls
+// this for every fetched instruction, and hits dominate — so the victim is
+// chosen by a second pass only on a miss (same selection as a single
+// combined pass, since a hit returns before any replacement happens).
 func (c *Cache) Access(addr uint64) bool {
 	c.clock++
 	block := addr >> c.lineBits
 	set := c.sets[block&c.setMask]
 	tag := block >> 1 // keep set bits out of the tag; harmless overlap otherwise
-	victim := 0
 	for i := range set {
 		if set[i].valid && set[i].tag == tag {
 			set[i].lru = c.clock
 			c.Hits++
 			return true
 		}
+	}
+	victim := 0
+	for i := range set {
 		if !set[i].valid {
 			victim = i
 		} else if set[victim].valid && set[i].lru < set[victim].lru {

@@ -58,7 +58,11 @@ type Resolution struct {
 	Taken bool
 	// Vals are the probabilistic values the control-dependent code must
 	// observe. For ModeSteered they are the recorded values matching
-	// Taken; otherwise the new values unchanged.
+	// Taken; otherwise the new values unchanged. The slice is only valid
+	// until the next Resolve call on the same unit: steered-mode storage
+	// is recycled into the next recorded instance so the steady state
+	// allocates nothing (consume or copy it immediately, as the emulator
+	// does).
 	Vals []uint64
 }
 
@@ -106,6 +110,19 @@ type Unit struct {
 	ctx     *ContextTracker
 	entries map[btbKey]*entry
 	stats   Stats
+
+	// handed is the value slice returned by the previous steered
+	// Resolution. Its contract expires at the next Resolve call, which
+	// reclaims it as storage for the newly recorded instance — the
+	// steady-state swap cycle therefore allocates nothing.
+	handed []uint64
+
+	// freeEntries and freeVals recycle table rows and record storage
+	// released by generation clears and Const-Val flushes, so workloads
+	// that churn the Prob-BTB (loop contexts ending and restarting) also
+	// run allocation-free after warm-up.
+	freeEntries []*entry
+	freeVals    [][]uint64
 }
 
 // NewUnit builds a PBS unit for the given configuration.
@@ -129,11 +146,42 @@ func (u *Unit) Config() Config { return u.cfg }
 // Stats returns a snapshot of the activity counters.
 func (u *Unit) Stats() Stats { return u.stats }
 
+// recycleRecords returns an entry's record storage to the value pool and
+// truncates its queue.
+func (u *Unit) recycleRecords(e *entry) {
+	for i := range e.queue {
+		if v := e.queue[i].vals; v != nil {
+			u.freeVals = append(u.freeVals, v)
+			e.queue[i].vals = nil
+		}
+	}
+	e.queue = e.queue[:0]
+}
+
+// newVals returns value storage for one record holding a copy of src,
+// recycled when possible: first from the slice handed out by the previous
+// steered Resolution (whose validity window has closed), then from the
+// flush pool, and only then from the allocator.
+func (u *Unit) newVals(src []uint64) []uint64 {
+	if v := u.handed; v != nil {
+		u.handed = nil
+		return append(v[:0], src...)
+	}
+	if n := len(u.freeVals); n > 0 {
+		v := u.freeVals[n-1]
+		u.freeVals = u.freeVals[:n-1]
+		return append(v[:0], src...)
+	}
+	return append([]uint64(nil), src...)
+}
+
 // clearGen flushes every probabilistic table entry owned by a terminated
 // or evicted loop generation, reclaiming the table capacity (§V-C1).
 func (u *Unit) clearGen(gen uint64) {
 	for k, e := range u.entries {
 		if e.gen == gen {
+			u.recycleRecords(e)
+			u.freeEntries = append(u.freeEntries, e)
 			delete(u.entries, k)
 			u.stats.ContextClears++
 		}
@@ -148,6 +196,8 @@ func (u *Unit) clearGen(gen uint64) {
 func (u *Unit) evictDead() bool {
 	for k, e := range u.entries {
 		if !u.genLive(e.gen) {
+			u.recycleRecords(e)
+			u.freeEntries = append(u.freeEntries, e)
 			delete(u.entries, k)
 			u.stats.ContextClears++
 			return true
@@ -226,8 +276,10 @@ func (u *Unit) Resolve(g Group) Resolution {
 	if e != nil && e.gen != gen {
 		// The previous owner loop's entries were cleared but the same
 		// static branch re-appeared under a new activation of the loop:
-		// fresh context, fresh entry.
-		*e = entry{gen: gen}
+		// fresh context, fresh entry (the queue's backing storage is
+		// recycled in place).
+		u.recycleRecords(e)
+		*e = entry{gen: gen, queue: e.queue}
 	}
 	if e == nil {
 		if len(u.entries) >= u.cfg.Branches && !u.evictDead() {
@@ -235,7 +287,13 @@ func (u *Unit) Resolve(g Group) Resolution {
 			u.stats.Regular++
 			return regular
 		}
-		e = &entry{gen: gen}
+		if n := len(u.freeEntries); n > 0 {
+			e = u.freeEntries[n-1]
+			u.freeEntries = u.freeEntries[:n-1]
+			*e = entry{gen: gen, queue: e.queue}
+		} else {
+			e = &entry{gen: gen}
+		}
 		u.entries[key] = e
 		u.stats.Allocations++
 		if n := len(u.entries); n > u.stats.MaxLiveBranches {
@@ -250,7 +308,8 @@ func (u *Unit) Resolve(g Group) Resolution {
 	if e.constSet && e.constVal != g.CmpVal {
 		u.stats.ConstViolations++
 		u.stats.Regular++
-		*e = entry{gen: gen, constVal: g.CmpVal, constSet: true}
+		u.recycleRecords(e)
+		*e = entry{gen: gen, constVal: g.CmpVal, constSet: true, queue: e.queue}
 		return regular
 	}
 	if !e.constSet {
@@ -258,7 +317,8 @@ func (u *Unit) Resolve(g Group) Resolution {
 		e.constSet = true
 	}
 
-	newRec := record{taken: g.Outcome, vals: append([]uint64(nil), g.Vals...)}
+	// Record the new instance in recycled storage (see newVals).
+	newRec := record{taken: g.Outcome, vals: u.newVals(g.Vals)}
 	if len(e.queue) < u.cfg.InFlight {
 		// Initialization phase: record, execute naturally, predict like a
 		// regular branch.
@@ -274,6 +334,7 @@ func (u *Unit) Resolve(g Group) Resolution {
 	copy(e.queue, e.queue[1:])
 	e.queue[len(e.queue)-1] = newRec
 	u.stats.Steered++
+	u.handed = old.vals
 	return Resolution{Mode: ModeSteered, Taken: old.taken, Vals: old.vals}
 }
 
@@ -308,6 +369,9 @@ type SavedState struct {
 
 // RestoreState reinstates a snapshot produced by SaveState.
 func (u *Unit) RestoreState(s *SavedState) {
+	// Drop the recycling scratch: the previous Resolution predates the
+	// restored state and must not be overwritten by post-restore records.
+	u.handed = nil
 	u.entries = make(map[btbKey]*entry, len(s.entries))
 	for k, e := range s.entries {
 		cp := e

@@ -2,7 +2,13 @@
 // programs instruction by instruction, drives the PBS unit (internal/core)
 // with branch/call/return events and probabilistic branch groups, applies
 // the value swaps PBS mandates, and streams a dynamic-instruction trace to
-// an optional listener (the timing model).
+// an optional consumer (the timing model) in batches.
+//
+// The dispatch loop runs over a predecoded execution plan (internal/plan):
+// immediates are sign-extended, LDC constants resolved, branch targets
+// absolute and condition codes collapsed to truth tables before the first
+// instruction retires, so the per-instruction switch does no static
+// decoding at all.
 package emu
 
 import (
@@ -11,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/isa"
+	"repro/internal/plan"
 	"repro/internal/rng"
 )
 
@@ -46,7 +53,7 @@ func (p ProbState) String() string {
 	return fmt.Sprintf("probstate(%d)", uint8(p))
 }
 
-// DynInstr is one retired dynamic instruction, as seen by trace listeners.
+// DynInstr is one retired dynamic instruction, as seen by trace consumers.
 type DynInstr struct {
 	// PC is the instruction index.
 	PC int32
@@ -58,8 +65,24 @@ type DynInstr struct {
 	Prob ProbState
 }
 
-// Listener receives every retired instruction in program order.
+// Listener receives every retired instruction in program order,
+// synchronously from Step. For the batched fast path see TraceSink.
 type Listener func(DynInstr)
+
+// TraceSink receives the retired-instruction trace in program order as
+// batches. The batch slice is a reusable buffer owned by the CPU: it is
+// valid only for the duration of the ConsumeTrace call, and a sink that
+// needs the data afterwards must copy it. Batches are delivered when the
+// internal ring fills, when CPU.Run returns for any reason (halt,
+// instruction budget, fault), and on FlushTrace.
+type TraceSink interface {
+	ConsumeTrace(batch []DynInstr)
+}
+
+// traceBatch is the trace ring capacity. DynInstr is 24 bytes, so the
+// ring stays small enough to live in L1 while amortizing the interface
+// call to nothing.
+const traceBatch = 256
 
 // Fault is a runtime error raised by the emulated program.
 type Fault struct {
@@ -104,6 +127,7 @@ type Stats struct {
 // CPU executes one program. Construct with New.
 type CPU struct {
 	prog *isa.Program
+	plan *plan.Plan
 	regs [isa.NumDataflowRegs]uint64
 	mem  []byte
 	pc   int
@@ -116,7 +140,11 @@ type CPU struct {
 	stats  Stats
 
 	listener Listener
-	group    probGroup
+	sink     TraceSink
+	fill     int
+	ring     [traceBatch]DynInstr
+
+	group probGroup
 
 	// CaptureProb enables recording of probabilistic branch-controlling
 	// values: Generated in generation order, Consumed in the order the
@@ -131,12 +159,16 @@ type CPU struct {
 // New builds a CPU for prog. pbs may be nil to run without PBS hardware
 // (probabilistic instructions then execute as plain compare+jump —
 // backward compatibility, §V-A2). The RNG stream must not be shared.
+// The program must not be mutated afterwards: its decoded execution plan
+// is built once and shared read-only (see internal/plan).
 func New(prog *isa.Program, r *rng.Stream, pbs *core.Unit) (*CPU, error) {
-	if err := prog.Validate(); err != nil {
+	pl, err := plan.For(prog)
+	if err != nil {
 		return nil, err
 	}
 	c := &CPU{
 		prog: prog,
+		plan: pl,
 		mem:  make([]byte, prog.MemSize),
 		rng:  r,
 		pbs:  pbs,
@@ -147,16 +179,48 @@ func New(prog *isa.Program, r *rng.Stream, pbs *core.Unit) (*CPU, error) {
 	return c, nil
 }
 
-// SetListener installs the trace listener.
-func (c *CPU) SetListener(l Listener) { c.listener = l }
+// SetListener installs a per-instruction trace listener, called
+// synchronously from every Step. Clears any installed TraceSink,
+// flushing instructions it had buffered first so no trace entry is lost
+// across the switch.
+func (c *CPU) SetListener(l Listener) {
+	c.FlushTrace()
+	c.listener = l
+	c.sink = nil
+}
+
+// SetTraceSink installs the batched trace consumer (the fast path the
+// timing model uses). Clears any installed Listener; entries buffered
+// for a previously installed sink are flushed to it first.
+func (c *CPU) SetTraceSink(s TraceSink) {
+	c.FlushTrace()
+	c.sink = s
+	c.listener = nil
+}
+
+// FlushTrace delivers any buffered retired instructions to the trace
+// sink. Run flushes automatically before returning; only callers that
+// drive Step directly need to flush by hand before reading sink state.
+func (c *CPU) FlushTrace() {
+	if c.fill > 0 {
+		if c.sink != nil {
+			c.sink.ConsumeTrace(c.ring[:c.fill])
+		}
+		c.fill = 0
+	}
+}
 
 // Halted reports whether the program has executed HALT.
 func (c *CPU) Halted() bool { return c.halted }
 
-// Output returns the program's OUT stream (raw 64-bit values).
-func (c *CPU) Output() []uint64 { return c.out }
+// Output returns a copy of the program's OUT stream (raw 64-bit values).
+// The copy does not alias live emulator state, so continued execution
+// never mutates a previously returned slice.
+func (c *CPU) Output() []uint64 {
+	return append([]uint64(nil), c.out...)
+}
 
-// OutputFloats returns the OUT stream interpreted as float64s.
+// OutputFloats returns a copy of the OUT stream interpreted as float64s.
 func (c *CPU) OutputFloats() []float64 {
 	fs := make([]float64, len(c.out))
 	for i, v := range c.out {
@@ -174,6 +238,14 @@ func (c *CPU) Reg(r isa.Reg) uint64 { return c.regs[r] }
 // SetReg sets register r (writes to R0 are ignored, as in hardware).
 func (c *CPU) SetReg(r isa.Reg, v uint64) {
 	if r != isa.R0 {
+		c.regs[r] = v
+	}
+}
+
+// setReg is the hot-path register write (r is a predecoded register
+// number; writes to R0 are discarded, as in hardware).
+func (c *CPU) setReg(r uint8, v uint64) {
+	if r != 0 {
 		c.regs[r] = v
 	}
 }
@@ -211,8 +283,10 @@ func (c *CPU) ReadWord(addr int64) (uint64, error) {
 	return getWord(c.mem, uint64(addr)), nil
 }
 
-func (c *CPU) fault(ins isa.Instr, format string, args ...any) error {
-	return &Fault{PC: c.pc, Instr: ins, Reason: fmt.Sprintf(format, args...)}
+// fault builds the runtime error for the instruction at the current pc
+// (only called from Step, after the pc bounds check).
+func (c *CPU) fault(format string, args ...any) error {
+	return &Fault{PC: c.pc, Instr: c.prog.Code[c.pc], Reason: fmt.Sprintf(format, args...)}
 }
 
 func (c *CPU) setFlags(lt, eq bool) {
@@ -226,223 +300,209 @@ func (c *CPU) setFlags(lt, eq bool) {
 	c.regs[isa.FlagsReg] = f
 }
 
-func (c *CPU) condHolds(op isa.Op) bool {
-	f := c.regs[isa.FlagsReg]
-	lt := f&flagLT != 0
-	eq := f&flagEQ != 0
-	switch op {
-	case isa.JEQ:
-		return eq
-	case isa.JNE:
-		return !eq
-	case isa.JLT:
-		return lt
-	case isa.JLE:
-		return lt || eq
-	case isa.JGT:
-		return !lt && !eq
-	case isa.JGE:
-		return !lt
-	}
-	return false
-}
-
 func f64(bits uint64) float64 { return math.Float64frombits(bits) }
 func bits(f float64) uint64   { return math.Float64bits(f) }
 
 // Run executes until HALT, a fault, or maxInstrs retired instructions
 // (0 = no limit). It returns nil on HALT and on hitting the instruction
-// budget.
+// budget, and flushes the trace sink before returning in every case.
 func (c *CPU) Run(maxInstrs uint64) error {
 	for !c.halted {
 		if maxInstrs > 0 && c.stats.Instructions >= maxInstrs {
+			c.FlushTrace()
 			return nil
 		}
 		if err := c.Step(); err != nil {
+			c.FlushTrace()
 			return err
 		}
 	}
+	c.FlushTrace()
 	return nil
 }
 
-// Step executes a single instruction.
+// Step executes a single instruction. Retired instructions reach a
+// TraceSink only when the internal batch fills; call FlushTrace before
+// reading sink-side state after hand-driven Steps.
 func (c *CPU) Step() error {
 	if c.halted {
 		return fmt.Errorf("emu: step after halt")
 	}
-	if c.pc < 0 || c.pc >= len(c.prog.Code) {
+	if c.pc < 0 || c.pc >= len(c.plan.Code) {
 		return &Fault{PC: c.pc, Reason: "program counter out of range"}
 	}
-	ins := c.prog.Code[c.pc]
+	d := &c.plan.Code[c.pc]
 	di := DynInstr{PC: int32(c.pc)}
 	next := c.pc + 1
 
-	ra := c.regs[ins.Ra]
-	rb := c.regs[ins.Rb]
+	ra := c.regs[d.Ra]
+	rb := c.regs[d.Rb]
 
-	switch ins.Op {
-	case isa.NOP:
-	case isa.HALT:
+	switch d.H {
+	case plan.HNop:
+	case plan.HHalt:
 		c.halted = true
 
-	case isa.MOV:
-		c.SetReg(ins.Rd, ra)
-	case isa.MOVI:
-		c.SetReg(ins.Rd, uint64(int64(ins.Imm)))
-	case isa.LDC:
-		c.SetReg(ins.Rd, c.prog.Consts[ins.Imm])
+	case plan.HMov:
+		c.setReg(d.Rd, ra)
+	case plan.HLoadImm:
+		c.setReg(d.Rd, d.Val)
 
-	case isa.ADD:
-		c.SetReg(ins.Rd, ra+rb)
-	case isa.SUB:
-		c.SetReg(ins.Rd, ra-rb)
-	case isa.MUL:
-		c.SetReg(ins.Rd, uint64(int64(ra)*int64(rb)))
-	case isa.DIV:
+	case plan.HAdd:
+		c.setReg(d.Rd, ra+rb)
+	case plan.HSub:
+		c.setReg(d.Rd, ra-rb)
+	case plan.HMul:
+		c.setReg(d.Rd, uint64(int64(ra)*int64(rb)))
+	case plan.HDiv:
 		if rb == 0 {
-			return c.fault(ins, "division by zero")
+			return c.fault("division by zero")
 		}
-		c.SetReg(ins.Rd, uint64(int64(ra)/int64(rb)))
-	case isa.REM:
+		c.setReg(d.Rd, uint64(int64(ra)/int64(rb)))
+	case plan.HRem:
 		if rb == 0 {
-			return c.fault(ins, "remainder by zero")
+			return c.fault("remainder by zero")
 		}
-		c.SetReg(ins.Rd, uint64(int64(ra)%int64(rb)))
-	case isa.AND:
-		c.SetReg(ins.Rd, ra&rb)
-	case isa.OR:
-		c.SetReg(ins.Rd, ra|rb)
-	case isa.XOR:
-		c.SetReg(ins.Rd, ra^rb)
-	case isa.SHL:
-		c.SetReg(ins.Rd, ra<<(rb&63))
-	case isa.SHR:
-		c.SetReg(ins.Rd, ra>>(rb&63))
-	case isa.NEG:
-		c.SetReg(ins.Rd, uint64(-int64(ra)))
+		c.setReg(d.Rd, uint64(int64(ra)%int64(rb)))
+	case plan.HAnd:
+		c.setReg(d.Rd, ra&rb)
+	case plan.HOr:
+		c.setReg(d.Rd, ra|rb)
+	case plan.HXor:
+		c.setReg(d.Rd, ra^rb)
+	case plan.HShl:
+		c.setReg(d.Rd, ra<<(rb&63))
+	case plan.HShr:
+		c.setReg(d.Rd, ra>>(rb&63))
+	case plan.HNeg:
+		c.setReg(d.Rd, uint64(-int64(ra)))
 
-	case isa.ADDI:
-		c.SetReg(ins.Rd, ra+uint64(int64(ins.Imm)))
-	case isa.MULI:
-		c.SetReg(ins.Rd, uint64(int64(ra)*int64(ins.Imm)))
-	case isa.ANDI:
-		c.SetReg(ins.Rd, ra&uint64(int64(ins.Imm)))
-	case isa.ORI:
-		c.SetReg(ins.Rd, ra|uint64(int64(ins.Imm)))
-	case isa.XORI:
-		c.SetReg(ins.Rd, ra^uint64(int64(ins.Imm)))
-	case isa.SHLI:
-		c.SetReg(ins.Rd, ra<<(uint32(ins.Imm)&63))
-	case isa.SHRI:
-		c.SetReg(ins.Rd, ra>>(uint32(ins.Imm)&63))
+	case plan.HAddImm:
+		c.setReg(d.Rd, ra+d.Val)
+	case plan.HMulImm:
+		c.setReg(d.Rd, uint64(int64(ra)*int64(d.Val)))
+	case plan.HAndImm:
+		c.setReg(d.Rd, ra&d.Val)
+	case plan.HOrImm:
+		c.setReg(d.Rd, ra|d.Val)
+	case plan.HXorImm:
+		c.setReg(d.Rd, ra^d.Val)
+	case plan.HShlImm:
+		c.setReg(d.Rd, ra<<d.Val)
+	case plan.HShrImm:
+		c.setReg(d.Rd, ra>>d.Val)
 
-	case isa.FADD:
-		c.SetReg(ins.Rd, bits(f64(ra)+f64(rb)))
-	case isa.FSUB:
-		c.SetReg(ins.Rd, bits(f64(ra)-f64(rb)))
-	case isa.FMUL:
-		c.SetReg(ins.Rd, bits(f64(ra)*f64(rb)))
-	case isa.FDIV:
-		c.SetReg(ins.Rd, bits(f64(ra)/f64(rb)))
-	case isa.FSQRT:
-		c.SetReg(ins.Rd, bits(math.Sqrt(f64(ra))))
-	case isa.FNEG:
-		c.SetReg(ins.Rd, bits(-f64(ra)))
-	case isa.FABS:
-		c.SetReg(ins.Rd, bits(math.Abs(f64(ra))))
-	case isa.FEXP:
-		c.SetReg(ins.Rd, bits(math.Exp(f64(ra))))
-	case isa.FLN:
-		c.SetReg(ins.Rd, bits(math.Log(f64(ra))))
-	case isa.FSIN:
-		c.SetReg(ins.Rd, bits(math.Sin(f64(ra))))
-	case isa.FCOS:
-		c.SetReg(ins.Rd, bits(math.Cos(f64(ra))))
-	case isa.FMIN:
-		c.SetReg(ins.Rd, bits(math.Min(f64(ra), f64(rb))))
-	case isa.FMAX:
-		c.SetReg(ins.Rd, bits(math.Max(f64(ra), f64(rb))))
-	case isa.FFLOOR:
-		c.SetReg(ins.Rd, bits(math.Floor(f64(ra))))
-	case isa.ITOF:
-		c.SetReg(ins.Rd, bits(float64(int64(ra))))
-	case isa.FTOI:
+	case plan.HFAdd:
+		c.setReg(d.Rd, bits(f64(ra)+f64(rb)))
+	case plan.HFSub:
+		c.setReg(d.Rd, bits(f64(ra)-f64(rb)))
+	case plan.HFMul:
+		c.setReg(d.Rd, bits(f64(ra)*f64(rb)))
+	case plan.HFDiv:
+		c.setReg(d.Rd, bits(f64(ra)/f64(rb)))
+	case plan.HFSqrt:
+		c.setReg(d.Rd, bits(math.Sqrt(f64(ra))))
+	case plan.HFNeg:
+		c.setReg(d.Rd, bits(-f64(ra)))
+	case plan.HFAbs:
+		c.setReg(d.Rd, bits(math.Abs(f64(ra))))
+	case plan.HFExp:
+		c.setReg(d.Rd, bits(math.Exp(f64(ra))))
+	case plan.HFLn:
+		c.setReg(d.Rd, bits(math.Log(f64(ra))))
+	case plan.HFSin:
+		c.setReg(d.Rd, bits(math.Sin(f64(ra))))
+	case plan.HFCos:
+		c.setReg(d.Rd, bits(math.Cos(f64(ra))))
+	case plan.HFMin:
+		c.setReg(d.Rd, bits(math.Min(f64(ra), f64(rb))))
+	case plan.HFMax:
+		c.setReg(d.Rd, bits(math.Max(f64(ra), f64(rb))))
+	case plan.HFFloor:
+		c.setReg(d.Rd, bits(math.Floor(f64(ra))))
+	case plan.HItoF:
+		c.setReg(d.Rd, bits(float64(int64(ra))))
+	case plan.HFtoI:
 		f := f64(ra)
 		if math.IsNaN(f) || f >= math.MaxInt64 || f <= math.MinInt64 {
-			return c.fault(ins, "float to int conversion out of range (%g)", f)
+			return c.fault("float to int conversion out of range (%g)", f)
 		}
-		c.SetReg(ins.Rd, uint64(int64(f)))
+		c.setReg(d.Rd, uint64(int64(f)))
 
-	case isa.LD, isa.LDB:
-		addr := int64(ra) + int64(ins.Imm)
-		size := int64(8)
-		if ins.Op == isa.LDB {
-			size = 1
+	case plan.HLd:
+		addr := int64(ra) + int64(d.Val)
+		if addr < 0 || addr+8 > int64(len(c.mem)) {
+			return c.fault("load address %d out of range [0,%d)", addr, len(c.mem))
 		}
-		if addr < 0 || addr+size > int64(len(c.mem)) {
-			return c.fault(ins, "load address %d out of range [0,%d)", addr, len(c.mem))
-		}
-		if ins.Op == isa.LD {
-			c.SetReg(ins.Rd, getWord(c.mem, uint64(addr)))
-		} else {
-			c.SetReg(ins.Rd, uint64(c.mem[addr]))
-		}
+		c.setReg(d.Rd, getWord(c.mem, uint64(addr)))
 		di.MemAddr = uint64(addr)
 		c.stats.Loads++
-	case isa.ST, isa.STB:
-		addr := int64(ra) + int64(ins.Imm)
-		size := int64(8)
-		if ins.Op == isa.STB {
-			size = 1
+	case plan.HLdb:
+		addr := int64(ra) + int64(d.Val)
+		if addr < 0 || addr+1 > int64(len(c.mem)) {
+			return c.fault("load address %d out of range [0,%d)", addr, len(c.mem))
 		}
-		if addr < 0 || addr+size > int64(len(c.mem)) {
-			return c.fault(ins, "store address %d out of range [0,%d)", addr, len(c.mem))
+		c.setReg(d.Rd, uint64(c.mem[addr]))
+		di.MemAddr = uint64(addr)
+		c.stats.Loads++
+	case plan.HSt:
+		addr := int64(ra) + int64(d.Val)
+		if addr < 0 || addr+8 > int64(len(c.mem)) {
+			return c.fault("store address %d out of range [0,%d)", addr, len(c.mem))
 		}
-		if ins.Op == isa.ST {
-			putWord(c.mem, uint64(addr), rb)
-		} else {
-			c.mem[addr] = byte(rb)
+		putWord(c.mem, uint64(addr), rb)
+		di.MemAddr = uint64(addr)
+		c.stats.Stores++
+	case plan.HStb:
+		addr := int64(ra) + int64(d.Val)
+		if addr < 0 || addr+1 > int64(len(c.mem)) {
+			return c.fault("store address %d out of range [0,%d)", addr, len(c.mem))
 		}
+		c.mem[addr] = byte(rb)
 		di.MemAddr = uint64(addr)
 		c.stats.Stores++
 
-	case isa.CMP:
+	case plan.HCmp:
 		c.setFlags(int64(ra) < int64(rb), ra == rb)
-	case isa.CMPI:
-		b := int64(ins.Imm)
+	case plan.HCmpImm:
+		b := int64(d.Val)
 		c.setFlags(int64(ra) < b, int64(ra) == b)
-	case isa.FCMP:
+	case plan.HFCmp:
 		fa, fb := f64(ra), f64(rb)
 		c.setFlags(fa < fb, fa == fb)
 
-	case isa.JMP:
-		next = c.pc + int(ins.Imm)
+	case plan.HJmp:
+		next = int(d.Target)
 		di.Taken = true
 		c.stats.Branches++
-		c.notifyBranch(ins, true)
-	case isa.JEQ, isa.JNE, isa.JLT, isa.JLE, isa.JGT, isa.JGE:
-		taken := c.condHolds(ins.Op)
+		if c.pbs != nil {
+			c.pbs.OnBranch(c.pc, next, true)
+		}
+	case plan.HJcc:
+		taken := d.Val>>(c.regs[isa.FlagsReg]&3)&1 != 0
 		if taken {
-			next = c.pc + int(ins.Imm)
+			next = int(d.Target)
 		}
 		di.Taken = taken
 		c.stats.Branches++
 		c.stats.CondBranches++
-		c.notifyBranch(ins, taken)
+		if c.pbs != nil {
+			c.pbs.OnBranch(c.pc, int(d.Target), taken)
+		}
 
-	case isa.CALL:
-		c.SetReg(isa.LR, uint64(c.pc+1))
-		next = c.pc + int(ins.Imm)
+	case plan.HCall:
+		c.regs[isa.LR] = uint64(c.pc + 1)
+		next = int(d.Target)
 		di.Taken = true
 		c.stats.Branches++
 		c.stats.Calls++
 		if c.pbs != nil {
 			c.pbs.OnCall(c.pc)
 		}
-	case isa.RET:
+	case plan.HRet:
 		next = int(c.regs[isa.LR])
 		if next < 0 || next > len(c.prog.Code) {
-			return c.fault(ins, "return to invalid pc %d", next)
+			return c.fault("return to invalid pc %d", next)
 		}
 		di.Taken = true
 		c.stats.Branches++
@@ -451,34 +511,39 @@ func (c *CPU) Step() error {
 			c.pbs.OnRet()
 		}
 
-	case isa.PROBCMP:
+	case plan.HProbCmp:
 		if c.group.open {
-			return c.fault(ins, "PROB_CMP while a probabilistic group is open")
+			return c.fault("PROB_CMP while a probabilistic group is open")
 		}
-		kind := isa.CmpKind(ins.Imm)
 		c.group = probGroup{
 			open:    true,
-			outcome: isa.EvalCmp(kind, ra, rb),
+			outcome: isa.EvalCmp(d.Kind, ra, rb),
 			cmpVal:  rb,
 			vals:    append(c.group.vals[:0], ra),
-			regs:    append(c.group.regs[:0], ins.Ra),
+			regs:    append(c.group.regs[:0], isa.Reg(d.Ra)),
 		}
 
-	case isa.PROBJMP:
+	case plan.HProbJmpMid:
 		if !c.group.open {
-			return c.fault(ins, "PROB_JMP without open probabilistic group")
+			return c.fault("PROB_JMP without open probabilistic group")
 		}
-		if ins.Ra != isa.R0 {
+		if d.Ra != 0 {
 			c.group.vals = append(c.group.vals, ra)
-			c.group.regs = append(c.group.regs, ins.Ra)
+			c.group.regs = append(c.group.regs, isa.Reg(d.Ra))
 		}
-		if ins.Imm == isa.NoTarget {
-			break // intermediate value-transfer PROB_JMP
+
+	case plan.HProbJmp:
+		if !c.group.open {
+			return c.fault("PROB_JMP without open probabilistic group")
+		}
+		if d.Ra != 0 {
+			c.group.vals = append(c.group.vals, ra)
+			c.group.regs = append(c.group.regs, isa.Reg(d.Ra))
 		}
 		c.group.open = false
-		taken, state := c.resolveProb(ins)
+		taken, state := c.resolveProb()
 		if taken {
-			next = c.pc + int(ins.Imm)
+			next = int(d.Target)
 		}
 		di.Taken = taken
 		di.Prob = state
@@ -486,51 +551,48 @@ func (c *CPU) Step() error {
 		c.stats.CondBranches++
 		c.stats.ProbBranches++
 
-	case isa.RANDU:
-		c.SetReg(ins.Rd, bits(c.rng.Float64()))
+	case plan.HRandU:
+		c.setReg(d.Rd, bits(c.rng.Float64()))
 		c.stats.RandDraws++
-	case isa.RANDN:
-		c.SetReg(ins.Rd, bits(c.rng.NormFloat64()))
+	case plan.HRandN:
+		c.setReg(d.Rd, bits(c.rng.NormFloat64()))
 		c.stats.RandDraws++
-	case isa.RANDI:
+	case plan.HRandI:
 		n := int64(ra)
 		if n <= 0 {
-			return c.fault(ins, "RANDI with non-positive bound %d", n)
+			return c.fault("RANDI with non-positive bound %d", n)
 		}
-		c.SetReg(ins.Rd, uint64(c.rng.Int63n(n)))
+		c.setReg(d.Rd, uint64(c.rng.Int63n(n)))
 		c.stats.RandDraws++
 
-	case isa.OUT:
+	case plan.HOut:
 		c.out = append(c.out, ra)
 		c.stats.Outputs++
 
 	default:
-		return c.fault(ins, "unimplemented opcode")
+		return c.fault("unimplemented opcode")
 	}
 
 	c.pc = next
 	c.stats.Instructions++
-	if c.listener != nil {
+	if c.sink != nil {
+		c.ring[c.fill] = di
+		c.fill++
+		if c.fill == traceBatch {
+			c.sink.ConsumeTrace(c.ring[:traceBatch])
+			c.fill = 0
+		}
+	} else if c.listener != nil {
 		c.listener(di)
 	}
 	return nil
-}
-
-// notifyBranch feeds the PBS loop detector with executed regular branches.
-func (c *CPU) notifyBranch(ins isa.Instr, taken bool) {
-	if c.pbs == nil {
-		return
-	}
-	if t, ok := ins.Target(c.pc); ok {
-		c.pbs.OnBranch(c.pc, t, taken)
-	}
 }
 
 // resolveProb finishes a probabilistic branch group at its terminal
 // PROB_JMP: with PBS attached, the unit decides direction and values and
 // the emulator applies the swap; without PBS the branch follows its
 // natural outcome.
-func (c *CPU) resolveProb(ins isa.Instr) (bool, ProbState) {
+func (c *CPU) resolveProb() (bool, ProbState) {
 	g := c.group
 	if c.pbs == nil {
 		if c.CaptureProb {

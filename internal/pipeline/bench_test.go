@@ -1,0 +1,92 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/branch"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/rng"
+	"repro/internal/workloads"
+)
+
+// recordTrace runs the PI workload functionally and captures its retired
+// instruction trace for replay through the timing model.
+func recordTrace(b *testing.B, maxInstrs uint64) (*isa.Program, []emu.DynInstr) {
+	b.Helper()
+	w, err := workloads.ByName("PI")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := w.Build(workloads.DefaultParams(), true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cpu, err := emu.New(prog, rng.New(1), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var trace []emu.DynInstr
+	cpu.SetListener(func(di emu.DynInstr) { trace = append(trace, di) })
+	if err := cpu.Run(maxInstrs); err != nil {
+		b.Fatal(err)
+	}
+	return prog, trace
+}
+
+// BenchmarkRetireBatch measures the steady-state retire path in
+// isolation: a prerecorded trace is replayed through
+// Pipeline.ConsumeTrace in emulator-sized batches, exercising fetch
+// accounting, the predecoded dataflow walk, functional-unit backfill,
+// caches and the TAGE-SC-L predictor — everything the trace-driven model
+// does per retired instruction — with zero allocations per batch.
+func BenchmarkRetireBatch(b *testing.B) {
+	prog, trace := recordTrace(b, 1<<20)
+	pipe, err := New(FourWide(), prog, branch.NewTAGESCL())
+	if err != nil {
+		b.Fatal(err)
+	}
+	const batch = 256
+	b.ReportAllocs()
+	b.ResetTimer()
+	var fed uint64
+	for i := 0; i < b.N; i++ {
+		off := (i * batch) % (len(trace) - batch)
+		pipe.ConsumeTrace(trace[off : off+batch])
+		fed += batch
+	}
+	b.ReportMetric(float64(fed)/b.Elapsed().Seconds(), "instr/s")
+}
+
+// TestRetireBatchAllocationFree pins the zero-allocation property of the
+// steady-state retire path under plain `go test`.
+func TestRetireBatchAllocationFree(t *testing.T) {
+	w, err := workloads.ByName("PI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(workloads.DefaultParams(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu, err := emu.New(prog, rng.New(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace []emu.DynInstr
+	cpu.SetListener(func(di emu.DynInstr) { trace = append(trace, di) })
+	if err := cpu.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := New(FourWide(), prog, branch.NewTAGESCL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe.ConsumeTrace(trace) // warm up
+	avg := testing.AllocsPerRun(50, func() {
+		pipe.ConsumeTrace(trace[:4096])
+	})
+	if avg != 0 {
+		t.Fatalf("retire path allocates: %v allocs per 4096-instruction batch", avg)
+	}
+}

@@ -1,10 +1,16 @@
 // Package pipeline is the trace-driven out-of-order timing model of the
 // reproduction. It consumes the retired-instruction stream of the
-// functional emulator and computes cycle timing for an aggressive
-// superscalar core: fetch bandwidth with one taken branch per cycle,
-// front-end depth, ROB occupancy, register dataflow, functional unit
-// pools, a two-level cache hierarchy, and the 10-cycle front-end refill
-// penalty on branch mispredictions (§VI-B).
+// functional emulator — batch-wise through emu.TraceSink, or one
+// instruction at a time through OnRetire — and computes cycle timing for
+// an aggressive superscalar core: fetch bandwidth with one taken branch
+// per cycle, front-end depth, ROB occupancy, register dataflow,
+// functional unit pools, a two-level cache hierarchy, and the 10-cycle
+// front-end refill penalty on branch mispredictions (§VI-B).
+//
+// All static per-instruction properties — functional unit class, latency,
+// occupancy, source/destination register sets, branch kind — come from
+// the program's predecoded execution plan (internal/plan), so the retire
+// path recomputes nothing that does not change between dynamic instances.
 //
 // Probabilistic branches steered by PBS never consult the predictor and
 // never pay the penalty; bootstrap and regular-mode probabilistic branches
@@ -19,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/plan"
 )
 
 // Config fixes the core microarchitecture.
@@ -158,54 +165,6 @@ func (m Metrics) MPKIReg() float64 {
 	return 1000 * float64(m.MispredictsReg) / float64(m.Instructions)
 }
 
-// fuClass partitions instructions over functional unit pools.
-type fuClass uint8
-
-const (
-	fuALU fuClass = iota
-	fuMul
-	fuDiv
-	fuFP
-	fuFDiv
-	fuFLong
-	fuMem
-	fuBranch
-	numFUClasses
-)
-
-// classify maps an opcode to its functional unit class, result latency,
-// and unit occupancy (the cycles before the unit accepts another
-// operation; 1 = fully pipelined). Latencies follow a Sandy-Bridge-like
-// profile; the transcendental unit models the pipelined microcoded
-// sequences of a modern FPU rather than a blocking iterative unit, so
-// independent loop iterations overlap as they do on real hardware. Loads
-// add cache latency on top.
-func classify(op isa.Op) (class fuClass, lat, occ uint64) {
-	switch op {
-	case isa.MUL, isa.MULI:
-		return fuMul, 3, 1
-	case isa.DIV, isa.REM:
-		return fuDiv, 20, 12
-	case isa.FADD, isa.FSUB, isa.FMUL, isa.FMIN, isa.FMAX, isa.FNEG, isa.FABS,
-		isa.FFLOOR, isa.ITOF, isa.FTOI, isa.FCMP:
-		return fuFP, 4, 1
-	case isa.FDIV, isa.FSQRT:
-		return fuFDiv, 16, 8
-	case isa.FEXP, isa.FLN, isa.FSIN, isa.FCOS:
-		return fuFLong, 20, 2
-	case isa.RANDU, isa.RANDN, isa.RANDI:
-		// Hardware RNG: medium latency, pipelined.
-		return fuFLong, 8, 1
-	case isa.LD, isa.LDB, isa.ST, isa.STB:
-		return fuMem, 1, 1
-	case isa.JMP, isa.JEQ, isa.JNE, isa.JLT, isa.JLE, isa.JGT, isa.JGE,
-		isa.CALL, isa.RET, isa.PROBJMP:
-		return fuBranch, 1, 1
-	default:
-		return fuALU, 1, 1
-	}
-}
-
 // fuWindow is the backfill scheduler's time-ring size in cycles. It must
 // exceed the maximum spread of concurrently scheduled issue times (bounded
 // by the ROB-induced fetch window plus the longest latency); cells older
@@ -220,28 +179,46 @@ const fuWindow = 1 << 14
 // program order — an op stalled on operands would block younger,
 // already-ready ops from slots the hardware would happily give them.
 type fuSched struct {
-	units [numFUClasses]uint8
-	cells [numFUClasses][fuWindow]fuCell
+	units [plan.NumFUClasses]uint8
+	cells [plan.NumFUClasses][fuWindow]fuCell
 }
 
-type fuCell struct {
-	cycle uint64
-	count uint8
-}
+// fuCell packs one time-ring cell as cycle<<8 | count: cycles stay below
+// 2^56 for any feasible run, counts below the 8-bit unit cap. Halving the
+// cell to one word keeps the ring's hot region in cache.
+type fuCell uint64
+
+func (c fuCell) cycle() uint64 { return uint64(c) >> 8 }
+func (c fuCell) count() uint8  { return uint8(c) }
 
 // schedule returns the issue cycle for an operation of the given class
 // that becomes ready at `ready` and occupies its unit for occ cycles.
-func (s *fuSched) schedule(class fuClass, ready, occ uint64) uint64 {
+func (s *fuSched) schedule(class plan.FUClass, ready, occ uint64) uint64 {
+	units := s.units[class]
+	cells := &s.cells[class]
+	if occ == 1 {
+		// Fast path for fully pipelined operations (the vast majority):
+		// one cell probe per candidate cycle.
+		for t := ready; ; t++ {
+			c := &cells[t&(fuWindow-1)]
+			if c.cycle() != t {
+				*c = fuCell(t<<8 | 1)
+				return t
+			}
+			if c.count() < units {
+				*c++
+				return t
+			}
+		}
+	}
 	if occ > fuWindow/2 {
 		occ = fuWindow / 2
 	}
-	cap := s.units[class]
-	cells := &s.cells[class]
 	for t := ready; ; t++ {
 		ok := true
 		for k := uint64(0); k < occ; k++ {
-			c := &cells[(t+k)%fuWindow]
-			if c.cycle == t+k && c.count >= cap {
+			c := cells[(t+k)&(fuWindow-1)]
+			if c.cycle() == t+k && c.count() >= units {
 				ok = false
 				t += k // skip past the congested cycle
 				break
@@ -251,22 +228,23 @@ func (s *fuSched) schedule(class fuClass, ready, occ uint64) uint64 {
 			continue
 		}
 		for k := uint64(0); k < occ; k++ {
-			c := &cells[(t+k)%fuWindow]
-			if c.cycle != t+k {
-				c.cycle = t + k
-				c.count = 0
+			c := &cells[(t+k)&(fuWindow-1)]
+			if c.cycle() != t+k {
+				*c = fuCell((t + k) << 8)
 			}
-			c.count++
+			*c++
 		}
 		return t
 	}
 }
 
-// Pipeline is the timing model for one run. It implements the emulator's
-// Listener contract via OnRetire.
+// Pipeline is the timing model for one run. It consumes the emulator's
+// trace batch-wise (ConsumeTrace, the emu.TraceSink contract) or per
+// instruction (OnRetire, the legacy Listener contract).
 type Pipeline struct {
 	cfg  Config
 	prog *isa.Program
+	plan *plan.Plan
 	pred branch.Predictor
 	hier *cache.Hierarchy
 
@@ -281,17 +259,24 @@ type Pipeline struct {
 	// dataflow
 	regReady [isa.NumDataflowRegs]uint64
 
-	// in-order structures (ring buffers)
+	// in-order structures (ring buffers). robPos and commitPos are the
+	// wrapped cursors idx%ROBSize and idx%Width, maintained incrementally
+	// so the retire path divides by nothing.
 	robRing    []uint64 // commit cycle of instruction idx-ROBSize
 	commitRing []uint64 // commit cycle of instruction idx-Width
+	robPos     int
+	commitPos  int
 	lastCommit uint64
 	idx        uint64
 
+	// precomputed config values on the hot path
+	robSize64 uint64
+	feDepth   uint64
+	misPen    uint64
+	l1iHitLat int
+
 	// functional units: backfill scheduler
 	fus fuSched
-
-	srcBuf []isa.Reg
-	dstBuf []isa.Reg
 
 	// DebugBlock, when set, is invoked whenever a misprediction pushes
 	// fetchBlockedUntil forward (diagnostics only).
@@ -302,8 +287,14 @@ type Pipeline struct {
 }
 
 // New builds a pipeline bound to a program, predictor and fresh caches.
+// The program must not be mutated afterwards (its decoded execution plan
+// is shared read-only; see internal/plan).
 func New(cfg Config, prog *isa.Program, pred branch.Predictor) (*Pipeline, error) {
 	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pl, err := plan.For(prog)
+	if err != nil {
 		return nil, err
 	}
 	hier, err := cache.NewHierarchy(cfg.L1I, cfg.L1D, cfg.L2, cfg.MemLatency)
@@ -313,27 +304,43 @@ func New(cfg Config, prog *isa.Program, pred branch.Predictor) (*Pipeline, error
 	p := &Pipeline{
 		cfg:        cfg,
 		prog:       prog,
+		plan:       pl,
 		pred:       pred,
 		hier:       hier,
 		robRing:    make([]uint64, cfg.ROBSize),
 		commitRing: make([]uint64, cfg.Width),
-		srcBuf:     make([]isa.Reg, 0, 4),
-		dstBuf:     make([]isa.Reg, 0, 2),
+		robSize64:  uint64(cfg.ROBSize),
+		feDepth:    uint64(cfg.FrontendDepth),
+		misPen:     uint64(cfg.MispredictPenalty),
+		l1iHitLat:  cfg.L1I.HitLatency,
 	}
-	p.fus.units[fuALU] = uint8(cfg.IntALUs)
-	p.fus.units[fuMul] = 1
-	p.fus.units[fuDiv] = 1
-	p.fus.units[fuFP] = uint8(cfg.FPUs)
-	p.fus.units[fuFDiv] = 1
-	p.fus.units[fuFLong] = 1
-	p.fus.units[fuMem] = uint8(cfg.MemPorts)
-	p.fus.units[fuBranch] = uint8(cfg.BranchUnits)
+	p.fus.units[plan.FUALU] = uint8(cfg.IntALUs)
+	p.fus.units[plan.FUMul] = 1
+	p.fus.units[plan.FUDiv] = 1
+	p.fus.units[plan.FUFP] = uint8(cfg.FPUs)
+	p.fus.units[plan.FUFDiv] = 1
+	p.fus.units[plan.FUFLong] = 1
+	p.fus.units[plan.FUMem] = uint8(cfg.MemPorts)
+	p.fus.units[plan.FUBranch] = uint8(cfg.BranchUnits)
 	return p, nil
 }
 
-// OnRetire consumes one retired instruction; pass it to emu.CPU.SetListener.
-func (p *Pipeline) OnRetire(di emu.DynInstr) {
-	ins := p.prog.Code[di.PC]
+// ConsumeTrace implements emu.TraceSink: it retires one batch of
+// instructions in program order. Pass the pipeline to
+// emu.CPU.SetTraceSink.
+func (p *Pipeline) ConsumeTrace(batch []emu.DynInstr) {
+	for i := range batch {
+		p.retire(&batch[i])
+	}
+}
+
+// OnRetire consumes one retired instruction (the legacy per-instruction
+// path; pass it to emu.CPU.SetListener).
+func (p *Pipeline) OnRetire(di emu.DynInstr) { p.retire(&di) }
+
+// retire advances the timing model by one retired instruction.
+func (p *Pipeline) retire(di *emu.DynInstr) {
+	d := &p.plan.Code[di.PC]
 
 	// ---- fetch ----
 	fc := p.curFetchCycle
@@ -348,8 +355,8 @@ func (p *Pipeline) OnRetire(di emu.DynInstr) {
 	}
 	// ROB occupancy: the slot of instruction idx-ROBSize must have
 	// committed before this instruction can enter the window.
-	if p.idx >= uint64(p.cfg.ROBSize) {
-		if free := p.robRing[p.idx%uint64(p.cfg.ROBSize)]; free > fc {
+	if p.idx >= p.robSize64 {
+		if free := p.robRing[p.robPos]; free > fc {
 			fc = free
 			p.fetchedInCycle = 0
 		}
@@ -358,7 +365,7 @@ func (p *Pipeline) OnRetire(di emu.DynInstr) {
 	p.m.L1IAccesses++
 	l1iMissBefore := p.hier.L1I.Misses
 	l2MissBefore := p.hier.L2.Misses
-	if lat := p.hier.InstrLatency(uint64(di.PC) * 8); lat > p.cfg.L1I.HitLatency {
+	if lat := p.hier.InstrLatency(uint64(di.PC) * 8); lat > p.l1iHitLat {
 		fc += uint64(lat)
 		p.fetchedInCycle = 0
 	}
@@ -370,40 +377,39 @@ func (p *Pipeline) OnRetire(di emu.DynInstr) {
 	p.fetchedInCycle++
 
 	// ---- issue / execute ----
-	issue := fc + uint64(p.cfg.FrontendDepth)
-	p.srcBuf = ins.SrcRegs(p.srcBuf[:0])
-	for _, r := range p.srcBuf {
-		if rr := p.regReady[r]; rr > issue {
+	issue := fc + p.feDepth
+	for i := 0; i < int(d.NSrc); i++ {
+		if rr := p.regReady[d.Src[i]]; rr > issue {
 			issue = rr
 		}
 	}
-	class, lat, occ := classify(ins.Op)
-	issue = p.fus.schedule(class, issue, occ)
+	lat := uint64(d.Lat)
+	issue = p.fus.schedule(d.FU, issue, uint64(d.Occ))
 
-	if ins.Op.IsLoad() || ins.Op.IsStore() {
+	if d.Flags&(plan.FLoad|plan.FStore) != 0 {
 		l1dMissBefore := p.hier.L1D.Misses
 		l2MissBefore := p.hier.L2.Misses
 		dlat := p.hier.DataLatency(di.MemAddr)
 		p.m.L1DAccesses++
 		p.m.L1DMisses += p.hier.L1D.Misses - l1dMissBefore
 		p.m.L2Misses += p.hier.L2.Misses - l2MissBefore
-		if ins.Op.IsLoad() {
+		if d.Flags&plan.FLoad != 0 {
 			lat = uint64(dlat)
 		}
 		// Stores retire without blocking (write buffer); latency stays 1.
 	}
 	execDone := issue + lat
 
-	for _, dst := range ins.DstRegs(p.dstBuf[:0]) {
-		p.regReady[dst] = execDone
+	for i := 0; i < int(d.NDst); i++ {
+		p.regReady[d.Dst[i]] = execDone
 	}
 	if p.DebugInstr != nil {
-		p.DebugInstr(di.PC, ins.Op, fc, issue, execDone)
+		p.DebugInstr(di.PC, d.Op, fc, issue, execDone)
 	}
 
 	// ---- branches ----
-	if ins.Op.IsBranch() {
-		p.handleBranch(di, ins, fc, execDone)
+	if d.Flags&plan.FBranch != 0 {
+		p.handleBranch(di, d, fc, execDone)
 	}
 
 	// ---- commit ----
@@ -411,30 +417,36 @@ func (p *Pipeline) OnRetire(di emu.DynInstr) {
 	if cc < p.lastCommit {
 		cc = p.lastCommit
 	}
-	if prev := p.commitRing[p.idx%uint64(p.cfg.Width)] + 1; cc < prev {
+	if prev := p.commitRing[p.commitPos] + 1; cc < prev {
 		cc = prev
 	}
-	p.commitRing[p.idx%uint64(p.cfg.Width)] = cc
-	p.robRing[p.idx%uint64(p.cfg.ROBSize)] = cc
+	p.commitRing[p.commitPos] = cc
+	p.robRing[p.robPos] = cc
 	p.lastCommit = cc
 	if cc > p.m.Cycles {
 		p.m.Cycles = cc
 	}
 	p.idx++
+	if p.commitPos++; p.commitPos == p.cfg.Width {
+		p.commitPos = 0
+	}
+	if p.robPos++; p.robPos == p.cfg.ROBSize {
+		p.robPos = 0
+	}
 	p.m.Instructions++
 }
 
 // handleBranch performs prediction accounting and misprediction redirects.
 // fc is the branch's fetch cycle, execDone its execution-complete cycle.
-func (p *Pipeline) handleBranch(di emu.DynInstr, ins isa.Instr, fc, execDone uint64) {
+func (p *Pipeline) handleBranch(di *emu.DynInstr, d *plan.Decoded, fc, execDone uint64) {
 	p.m.Branches++
-	if _, hasTarget := ins.Target(int(di.PC)); !hasTarget && ins.Op == isa.PROBJMP {
+	if d.Flags&plan.FMidProb != 0 {
 		return // intermediate value-transfer PROB_JMP: not a control transfer
 	}
 	if di.Taken {
 		p.breakFetch = true
 	}
-	if !ins.Op.IsCondBranch() {
+	if d.Flags&plan.FCond == 0 {
 		// JMP/CALL/RET: target from BTB/RAS, assumed perfect.
 		return
 	}
@@ -473,22 +485,22 @@ func (p *Pipeline) handleBranch(di emu.DynInstr, ins isa.Instr, fc, execDone uin
 		} else {
 			p.m.MispredictsReg++
 		}
-		resolved := fc + uint64(p.cfg.FrontendDepth) + 1
+		resolved := fc + p.feDepth + 1
 		if p.cfg.ResolutionPenalty || execDone < resolved {
 			resolved = execDone
 		}
-		redirect := resolved + uint64(p.cfg.MispredictPenalty)
+		redirect := resolved + p.misPen
 		if redirect > p.fetchBlockedUntil {
 			p.fetchBlockedUntil = redirect
 			if p.DebugBlock != nil {
-				p.DebugBlock(di.PC, ins.Op, execDone, redirect)
+				p.DebugBlock(di.PC, d.Op, execDone, redirect)
 			}
 		}
 	}
 }
 
 // Metrics returns the accumulated metrics. Call after the emulator run
-// completes.
+// completes (with a TraceSink attachment, after the final flush).
 func (p *Pipeline) Metrics() Metrics { return p.m }
 
 // Caches exposes the cache hierarchy for inspection.

@@ -6,6 +6,7 @@ import (
 	"repro/internal/branch"
 	"repro/internal/emu"
 	"repro/internal/isa"
+	"repro/internal/plan"
 	"repro/internal/progb"
 	"repro/internal/rng"
 )
@@ -263,28 +264,28 @@ func TestMetricsDerived(t *testing.T) {
 
 func TestFUSchedSaturation(t *testing.T) {
 	var s fuSched
-	s.units[fuALU] = 2
+	s.units[plan.FUALU] = 2
 	// Three ops ready at cycle 10 on a 2-unit class: two issue at 10,
 	// the third at 11.
-	if got := s.schedule(fuALU, 10, 1); got != 10 {
+	if got := s.schedule(plan.FUALU, 10, 1); got != 10 {
 		t.Errorf("first: %d", got)
 	}
-	if got := s.schedule(fuALU, 10, 1); got != 10 {
+	if got := s.schedule(plan.FUALU, 10, 1); got != 10 {
 		t.Errorf("second: %d", got)
 	}
-	if got := s.schedule(fuALU, 10, 1); got != 11 {
+	if got := s.schedule(plan.FUALU, 10, 1); got != 11 {
 		t.Errorf("third: %d", got)
 	}
 	// Backfill: an op ready at cycle 5 slots in before the busy cycle 10.
-	if got := s.schedule(fuALU, 5, 1); got != 5 {
+	if got := s.schedule(plan.FUALU, 5, 1); got != 5 {
 		t.Errorf("backfill: %d", got)
 	}
 	// Occupancy: a 4-cycle op on a 1-unit class excludes overlaps.
-	s.units[fuDiv] = 1
-	if got := s.schedule(fuDiv, 20, 4); got != 20 {
+	s.units[plan.FUDiv] = 1
+	if got := s.schedule(plan.FUDiv, 20, 4); got != 20 {
 		t.Errorf("div first: %d", got)
 	}
-	if got := s.schedule(fuDiv, 21, 4); got != 24 {
+	if got := s.schedule(plan.FUDiv, 21, 4); got != 24 {
 		t.Errorf("div second must wait: %d", got)
 	}
 }

@@ -1,0 +1,376 @@
+// Package plan predecodes isa programs into dense execution plans shared
+// by the functional emulator (internal/emu) and the timing model
+// (internal/pipeline). The hot loops of both consumers pay per-retired-
+// instruction costs that are really static properties of the program —
+// immediate sign extension, LDC constant-pool resolution, branch-target
+// arithmetic, condition decoding, source/destination register sets, and
+// the functional-unit class/latency/occupancy lookup — so the plan
+// computes all of them exactly once per program.
+//
+// A plan is built lazily and cached per *isa.Program: a program shared
+// read-only across many concurrent simulations (the way internal/sweep's
+// ProgramCache shares builds) decodes once, and the cache releases its
+// entry when the program itself becomes unreachable, so per-run throwaway
+// programs do not accumulate.
+package plan
+
+import (
+	"runtime"
+	"sync"
+	"weak"
+
+	"repro/internal/isa"
+)
+
+// H is a dense execution-handler code: what the emulator's dispatch
+// switch actually has to do, with all static decoding folded away. MOVI
+// and LDC, for example, collapse into the single HLoadImm handler whose
+// operand is the predecoded 64-bit value.
+type H uint8
+
+// Handler codes. The emulator switches on these instead of isa.Op.
+const (
+	HNop H = iota
+	HHalt
+
+	HMov
+	HLoadImm // MOVI (sign-extended) and LDC (pool-resolved): rd = Val
+
+	HAdd
+	HSub
+	HMul
+	HDiv
+	HRem
+	HAnd
+	HOr
+	HXor
+	HShl
+	HShr
+	HNeg
+
+	HAddImm
+	HMulImm
+	HAndImm
+	HOrImm
+	HXorImm
+	HShlImm // shift count premasked into Val
+	HShrImm
+
+	HFAdd
+	HFSub
+	HFMul
+	HFDiv
+	HFSqrt
+	HFNeg
+	HFAbs
+	HFExp
+	HFLn
+	HFSin
+	HFCos
+	HFMin
+	HFMax
+	HFFloor
+	HItoF
+	HFtoI
+
+	HLd
+	HLdb
+	HSt
+	HStb
+
+	HCmp
+	HCmpImm
+	HFCmp
+
+	HJmp // unconditional: Target is absolute
+	HJcc // conditional: Val is a 4-entry truth table over the flags register
+
+	HCall
+	HRet
+
+	HProbCmp
+	HProbJmpMid // intermediate value-transfer PROB_JMP (no target)
+	HProbJmp    // terminal PROB_JMP
+
+	HRandU
+	HRandN
+	HRandI
+
+	HOut
+)
+
+// FUClass partitions instructions over the timing model's functional unit
+// pools (moved here from internal/pipeline so the plan can carry it).
+type FUClass uint8
+
+// Functional unit classes.
+const (
+	FUALU FUClass = iota
+	FUMul
+	FUDiv
+	FUFP
+	FUFDiv
+	FUFLong
+	FUMem
+	FUBranch
+	NumFUClasses
+)
+
+// Static instruction property flags.
+const (
+	// FBranch marks any control transfer (conditional or not).
+	FBranch uint8 = 1 << iota
+	// FCond marks conditional control transfers.
+	FCond
+	// FHasTarget marks branches with a static PC-relative target.
+	FHasTarget
+	// FLoad marks data-memory reads.
+	FLoad
+	// FStore marks data-memory writes.
+	FStore
+	// FProb marks terminal (targeted) PROB_JMPs.
+	FProb
+	// FMidProb marks intermediate value-transfer PROB_JMPs, which are not
+	// control transfers and take no prediction.
+	FMidProb
+)
+
+// Decoded is one predecoded instruction. 32 bytes, laid out so the
+// emulator's dispatch and the pipeline's dataflow walk touch one cache
+// line per pair of instructions.
+type Decoded struct {
+	// Val is the handler operand: the sign-extended immediate as uint64
+	// bits, the resolved LDC constant, the premasked shift count, or the
+	// HJcc truth table (bit f set = taken when the flags register is f).
+	Val uint64
+	// Target is the absolute instruction index of a branch target (valid
+	// when FHasTarget is set).
+	Target int32
+
+	Op isa.Op // original opcode, for faults and debug callbacks
+	H  H
+	Rd uint8
+	Ra uint8
+	Rb uint8
+
+	Flags uint8
+	FU    FUClass
+	Lat   uint8 // result latency in cycles
+	Occ   uint8 // unit occupancy in cycles (1 = fully pipelined)
+
+	// Kind is the decoded PROB_CMP comparison kind.
+	Kind isa.CmpKind
+
+	// Src/Dst are the architectural source and destination register sets
+	// (including isa.FlagsReg), R0 already elided.
+	NSrc uint8
+	NDst uint8
+	Src  [3]uint8
+	Dst  [2]uint8
+}
+
+// Plan is the decoded execution plan of one program.
+type Plan struct {
+	Code []Decoded
+}
+
+// classify maps an opcode to its functional unit class, result latency,
+// and unit occupancy (the cycles before the unit accepts another
+// operation; 1 = fully pipelined). Latencies follow a Sandy-Bridge-like
+// profile; the transcendental unit models the pipelined microcoded
+// sequences of a modern FPU rather than a blocking iterative unit, so
+// independent loop iterations overlap as they do on real hardware. Loads
+// add cache latency on top.
+func classify(op isa.Op) (class FUClass, lat, occ uint8) {
+	switch op {
+	case isa.MUL, isa.MULI:
+		return FUMul, 3, 1
+	case isa.DIV, isa.REM:
+		return FUDiv, 20, 12
+	case isa.FADD, isa.FSUB, isa.FMUL, isa.FMIN, isa.FMAX, isa.FNEG, isa.FABS,
+		isa.FFLOOR, isa.ITOF, isa.FTOI, isa.FCMP:
+		return FUFP, 4, 1
+	case isa.FDIV, isa.FSQRT:
+		return FUFDiv, 16, 8
+	case isa.FEXP, isa.FLN, isa.FSIN, isa.FCOS:
+		return FUFLong, 20, 2
+	case isa.RANDU, isa.RANDN, isa.RANDI:
+		// Hardware RNG: medium latency, pipelined.
+		return FUFLong, 8, 1
+	case isa.LD, isa.LDB, isa.ST, isa.STB:
+		return FUMem, 1, 1
+	case isa.JMP, isa.JEQ, isa.JNE, isa.JLT, isa.JLE, isa.JGT, isa.JGE,
+		isa.CALL, isa.RET, isa.PROBJMP:
+		return FUBranch, 1, 1
+	default:
+		return FUALU, 1, 1
+	}
+}
+
+// handlerFor maps an opcode to its dense handler.
+var handlerFor = map[isa.Op]H{
+	isa.NOP: HNop, isa.HALT: HHalt,
+	isa.MOV: HMov, isa.MOVI: HLoadImm, isa.LDC: HLoadImm,
+	isa.ADD: HAdd, isa.SUB: HSub, isa.MUL: HMul, isa.DIV: HDiv, isa.REM: HRem,
+	isa.AND: HAnd, isa.OR: HOr, isa.XOR: HXor, isa.SHL: HShl, isa.SHR: HShr, isa.NEG: HNeg,
+	isa.ADDI: HAddImm, isa.MULI: HMulImm, isa.ANDI: HAndImm, isa.ORI: HOrImm,
+	isa.XORI: HXorImm, isa.SHLI: HShlImm, isa.SHRI: HShrImm,
+	isa.FADD: HFAdd, isa.FSUB: HFSub, isa.FMUL: HFMul, isa.FDIV: HFDiv,
+	isa.FSQRT: HFSqrt, isa.FNEG: HFNeg, isa.FABS: HFAbs, isa.FEXP: HFExp,
+	isa.FLN: HFLn, isa.FSIN: HFSin, isa.FCOS: HFCos, isa.FMIN: HFMin,
+	isa.FMAX: HFMax, isa.FFLOOR: HFFloor, isa.ITOF: HItoF, isa.FTOI: HFtoI,
+	isa.LD: HLd, isa.LDB: HLdb, isa.ST: HSt, isa.STB: HStb,
+	isa.CMP: HCmp, isa.CMPI: HCmpImm, isa.FCMP: HFCmp,
+	isa.JMP: HJmp,
+	isa.JEQ: HJcc, isa.JNE: HJcc, isa.JLT: HJcc, isa.JLE: HJcc, isa.JGT: HJcc, isa.JGE: HJcc,
+	isa.CALL: HCall, isa.RET: HRet,
+	isa.PROBCMP: HProbCmp, isa.PROBJMP: HProbJmp,
+	isa.RANDU: HRandU, isa.RANDN: HRandN, isa.RANDI: HRandI,
+	isa.OUT: HOut,
+}
+
+// jccTruth returns the 4-entry truth table of a conditional jump over the
+// flags register (bit 0 = LT, bit 1 = EQ): bit f of the result is the
+// branch direction when the flags register holds f.
+func jccTruth(op isa.Op) uint64 {
+	var truth uint64
+	for f := uint64(0); f < 4; f++ {
+		lt := f&1 != 0
+		eq := f&2 != 0
+		var taken bool
+		switch op {
+		case isa.JEQ:
+			taken = eq
+		case isa.JNE:
+			taken = !eq
+		case isa.JLT:
+			taken = lt
+		case isa.JLE:
+			taken = lt || eq
+		case isa.JGT:
+			taken = !lt && !eq
+		case isa.JGE:
+			taken = !lt
+		}
+		if taken {
+			truth |= 1 << f
+		}
+	}
+	return truth
+}
+
+// decode builds the Decoded form of one instruction. The program has
+// already been validated, so pool indices and targets are in range.
+func decode(prog *isa.Program, pc int, ins isa.Instr) Decoded {
+	d := Decoded{
+		Op: ins.Op,
+		Rd: uint8(ins.Rd),
+		Ra: uint8(ins.Ra),
+		Rb: uint8(ins.Rb),
+	}
+	d.H = handlerFor[ins.Op]
+	d.FU, d.Lat, d.Occ = classify(ins.Op)
+
+	// Handler operand.
+	switch ins.Op {
+	case isa.LDC:
+		d.Val = prog.Consts[ins.Imm]
+	case isa.SHLI, isa.SHRI:
+		d.Val = uint64(uint32(ins.Imm) & 63)
+	case isa.JEQ, isa.JNE, isa.JLT, isa.JLE, isa.JGT, isa.JGE:
+		d.Val = jccTruth(ins.Op)
+	case isa.PROBCMP:
+		d.Kind = isa.CmpKind(ins.Imm)
+	default:
+		d.Val = uint64(int64(ins.Imm)) // sign-extended immediate
+	}
+
+	// Static property flags and the absolute branch target.
+	if ins.Op.IsBranch() {
+		d.Flags |= FBranch
+		if ins.Op.IsCondBranch() {
+			d.Flags |= FCond
+		}
+		if t, ok := ins.Target(pc); ok {
+			d.Flags |= FHasTarget
+			d.Target = int32(t)
+		}
+	}
+	if ins.Op.IsLoad() {
+		d.Flags |= FLoad
+	}
+	if ins.Op.IsStore() {
+		d.Flags |= FStore
+	}
+	if ins.Op == isa.PROBJMP {
+		if ins.Imm == isa.NoTarget {
+			d.Flags |= FMidProb
+			d.H = HProbJmpMid
+		} else {
+			d.Flags |= FProb
+		}
+	}
+
+	// Register dataflow sets.
+	var buf [4]isa.Reg
+	for _, r := range ins.SrcRegs(buf[:0]) {
+		d.Src[d.NSrc] = uint8(r)
+		d.NSrc++
+	}
+	for _, r := range ins.DstRegs(buf[:0]) {
+		d.Dst[d.NDst] = uint8(r)
+		d.NDst++
+	}
+	return d
+}
+
+// build decodes a validated program.
+func build(prog *isa.Program) *Plan {
+	p := &Plan{Code: make([]Decoded, len(prog.Code))}
+	for pc, ins := range prog.Code {
+		p.Code[pc] = decode(prog, pc, ins)
+	}
+	return p
+}
+
+// cacheEntry is one program's memoized plan (or validation error).
+type cacheEntry struct {
+	once sync.Once
+	plan *Plan
+	err  error
+}
+
+// cache maps live programs to their plans. Keys are weak pointers so the
+// cache never extends a program's lifetime; a cleanup removes the entry
+// when the program is collected.
+var cache sync.Map // weak.Pointer[isa.Program] -> *cacheEntry
+
+// For returns the decoded plan of prog, validating and building it on
+// first use and sharing the result across all subsequent callers for the
+// lifetime of the program. Programs handed to For must no longer be
+// mutated: the plan (including resolved constants and targets) is fixed
+// at first decode, exactly like the read-only sharing contract of
+// sim.Config.Program.
+func For(prog *isa.Program) (*Plan, error) {
+	k := weak.Make(prog)
+	v, ok := cache.Load(k)
+	if !ok {
+		v, ok = cache.LoadOrStore(k, &cacheEntry{})
+		if !ok {
+			// This goroutine inserted the entry; arrange its removal when
+			// the program dies.
+			runtime.AddCleanup(prog, func(key weak.Pointer[isa.Program]) {
+				cache.Delete(key)
+			}, k)
+		}
+	}
+	e := v.(*cacheEntry)
+	e.once.Do(func() {
+		if err := prog.Validate(); err != nil {
+			e.err = err
+			return
+		}
+		e.plan = build(prog)
+	})
+	return e.plan, e.err
+}

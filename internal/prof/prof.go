@@ -1,0 +1,63 @@
+// Package prof wires the standard pprof CPU and heap profiles into the
+// CLIs (pbsim, pbsweep), so performance investigations are self-serve:
+//
+//	pbsim -workload PI -pbs -cpuprofile cpu.prof
+//	go tool pprof cpu.prof
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+)
+
+// Start begins profiling as requested (empty paths disable the
+// corresponding profile) and returns a stop function that finishes the
+// CPU profile and writes the heap profile. stop is idempotent, so error
+// paths can run it before exiting while a deferred call covers the
+// normal return — profiles of failing runs (often the interesting ones)
+// stay readable.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("start CPU profile: %w", err)
+		}
+	}
+	finish := func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return err
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return err
+			}
+			runtime.GC() // materialize the final live heap
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var once sync.Once
+	var stopErr error
+	return func() error {
+		once.Do(func() { stopErr = finish() })
+		return stopErr
+	}, nil
+}

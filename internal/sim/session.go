@@ -195,7 +195,12 @@ func newSession(cfg Config) (*Session, error) {
 		if err != nil {
 			return nil, err
 		}
-		cpu.SetListener(pipe.OnRetire)
+		// Batched trace delivery: the pipeline consumes reusable
+		// []emu.DynInstr chunks; cpu.Run flushes the ring on every return,
+		// so observer boundaries and snapshots see a fully caught-up
+		// timing model (advance stops the emulator exactly on interval
+		// boundaries).
+		cpu.SetTraceSink(pipe)
 		s.pipe = pipe
 		s.pred = pred
 	}

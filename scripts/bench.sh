@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# scripts/bench.sh — run the benchmark suite and record the performance
+# trajectory as BENCH_<date>.json in the repo root.
+#
+# Every result line of `go test -bench` (ns/op, B/op, allocs/op, and the
+# custom metrics: sim-instr/s, IPC, MPKI, points/s, ...) is captured, so
+# successive snapshots form a machine-readable history of simulator
+# throughput alongside the simulated-machine numbers.
+#
+# Usage:
+#   scripts/bench.sh                              # full suite, -benchtime=1x
+#   BENCHTIME=2s scripts/bench.sh                 # longer per-benchmark time
+#   BENCH='BenchmarkWorkloads' scripts/bench.sh   # subset by regexp
+#   OUT=BENCH_baseline.json scripts/bench.sh      # custom output file
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+benchtime="${BENCHTIME:-1x}"
+pattern="${BENCH:-.}"
+date_tag="$(date +%F)"
+out="${OUT:-BENCH_${date_tag}.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" ./... 2>&1 | tee "$raw" >&2
+
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$date_tag"
+  printf '  "go": "%s",\n' "$(go version)"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "results": [\n'
+  awk '
+    /^Benchmark/ && NF >= 4 {
+      if (n++) printf ",\n"
+      printf "    {\"name\":\"%s\",\"iterations\":%s,\"metrics\":{", $1, $2
+      msep = ""
+      for (i = 3; i + 1 <= NF; i += 2) {
+        printf "%s\"%s\":%s", msep, $(i+1), $i
+        msep = ","
+      }
+      printf "}}"
+    }
+    END { print "" }
+  ' "$raw"
+  printf '  ]\n}\n'
+} > "$out"
+
+# Fail loudly if nothing was benchmarked (e.g. a typoed BENCH pattern).
+if ! grep -q '"name"' "$out"; then
+  echo "bench.sh: no benchmark results captured (pattern: $pattern)" >&2
+  exit 1
+fi
+echo "bench.sh: wrote $out" >&2
