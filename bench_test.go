@@ -4,7 +4,7 @@
 // custom metric, so `go test -bench=. -benchmem` reproduces the entire
 // evaluation and prints the paper-vs-measured numbers.
 //
-// Mapping (see DESIGN.md §3 for the full index):
+// Mapping (see DESIGN.md §4 for the full index):
 //
 //	BenchmarkFigure1    — misprediction breakdown (Fig 1)
 //	BenchmarkFigure6    — MPKI reduction through PBS (Fig 6)

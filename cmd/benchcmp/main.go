@@ -1,0 +1,218 @@
+// Command benchcmp diffs two BENCH_<date>.json snapshots (written by
+// scripts/bench.sh) and gates the performance trajectory: it prints a
+// per-benchmark table of the guarded metrics and exits non-zero when the
+// new snapshot regresses — simulator throughput (sim-instr/s, instr/s,
+// points/s) down by more than the threshold, or allocs/op up by more
+// than the threshold. CI runs it against the committed baseline so a
+// throughput or allocation regression fails the build instead of
+// landing silently.
+//
+// Usage:
+//
+//	benchcmp [-threshold 5] [-all] old.json new.json
+//
+// Benchmarks present in only one snapshot are reported but never gate
+// (renames and new benchmarks must not break the build).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Snapshot mirrors the JSON scripts/bench.sh emits.
+type Snapshot struct {
+	Date      string        `json:"date"`
+	Go        string        `json:"go"`
+	Commit    string        `json:"commit"`
+	Benchtime string        `json:"benchtime"`
+	Results   []BenchResult `json:"results"`
+}
+
+// BenchResult is one benchmark's line: its go-test name and every
+// reported metric (ns/op, B/op, allocs/op and the custom ones).
+type BenchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// gatedMetrics are the metrics the comparator guards, and the direction
+// that counts as better. Throughput metrics regress when they fall;
+// allocation counts regress when they rise. Everything else (ns/op is
+// too machine-sensitive, the simulated-machine metrics like IPC/MPKI are
+// pinned byte-identical by tests already) is informational only.
+var gatedMetrics = []struct {
+	name         string
+	higherBetter bool
+}{
+	{"sim-instr/s", true},
+	{"instr/s", true},
+	{"points/s", true},
+	{"allocs/op", false},
+}
+
+// Delta is one gated comparison.
+type Delta struct {
+	Bench, Metric string
+	Old, New      float64
+	Pct           float64 // signed percent change from Old (+Inf for 0 -> n)
+	Regression    bool
+}
+
+// compare diffs the gated metrics of every benchmark present in both
+// snapshots, in sorted benchmark order, flagging changes beyond the
+// threshold percentage as regressions.
+func compare(oldS, newS *Snapshot, threshold float64) (deltas []Delta, onlyOld, onlyNew []string) {
+	oldBy := resultsByName(oldS)
+	newBy := resultsByName(newS)
+	names := make([]string, 0, len(oldBy))
+	for name := range oldBy {
+		if _, ok := newBy[name]; ok {
+			names = append(names, name)
+		} else {
+			onlyOld = append(onlyOld, name)
+		}
+	}
+	for name := range newBy {
+		if _, ok := oldBy[name]; !ok {
+			onlyNew = append(onlyNew, name)
+		}
+	}
+	sort.Strings(names)
+	sort.Strings(onlyOld)
+	sort.Strings(onlyNew)
+
+	for _, name := range names {
+		om, nm := oldBy[name].Metrics, newBy[name].Metrics
+		for _, g := range gatedMetrics {
+			ov, okOld := om[g.name]
+			nv, okNew := nm[g.name]
+			if !okOld || !okNew {
+				continue
+			}
+			d := Delta{Bench: name, Metric: g.name, Old: ov, New: nv}
+			switch {
+			case ov == nv:
+				// No change (covers 0 -> 0).
+			case ov == 0:
+				// 0 -> n: no finite percentage. Growth from zero gates
+				// for lower-is-better metrics (a formerly allocation-free
+				// benchmark now allocates).
+				d.Pct = math.Inf(1)
+				d.Regression = !g.higherBetter
+			default:
+				d.Pct = 100 * (nv - ov) / ov
+				if g.higherBetter {
+					d.Regression = d.Pct < -threshold
+				} else {
+					d.Regression = d.Pct > threshold
+				}
+			}
+			deltas = append(deltas, d)
+		}
+	}
+	return deltas, onlyOld, onlyNew
+}
+
+// normalizeName strips the trailing "-N" GOMAXPROCS suffix go test
+// appends to benchmark names on multi-proc machines (BenchmarkFigure1-4
+// vs BenchmarkFigure1 on one core), so snapshots recorded on machines
+// with different core counts pair up instead of silently landing in the
+// never-gating unpaired buckets.
+func normalizeName(name string) string {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+func resultsByName(s *Snapshot) map[string]BenchResult {
+	m := make(map[string]BenchResult, len(s.Results))
+	for _, r := range s.Results {
+		m[normalizeName(r.Name)] = r
+	}
+	return m
+}
+
+func loadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Results) == 0 {
+		return nil, fmt.Errorf("%s: snapshot holds no benchmark results", path)
+	}
+	return &s, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 5, "regression gate in percent: throughput down or allocs/op up by more than this fails")
+	all := flag.Bool("all", false, "print every gated comparison, not only the changed ones")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcmp [-threshold pct] [-all] old.json new.json")
+		os.Exit(2)
+	}
+	oldS, err := loadSnapshot(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	newS, err := loadSnapshot(flag.Arg(1))
+	if err != nil {
+		fail(err)
+	}
+
+	fmt.Printf("benchcmp: %s (%s, %s) vs %s (%s, %s), gate ±%.3g%%\n",
+		flag.Arg(0), oldS.Commit, oldS.Date, flag.Arg(1), newS.Commit, newS.Date, *threshold)
+	deltas, onlyOld, onlyNew := compare(oldS, newS, *threshold)
+	regressions := 0
+	fmt.Printf("%-44s %-12s %14s %14s %9s\n", "benchmark", "metric", "old", "new", "delta")
+	for _, d := range deltas {
+		if d.Regression {
+			regressions++
+		} else if !*all && d.Old == d.New {
+			continue
+		}
+		mark := ""
+		if d.Regression {
+			mark = "  REGRESSION"
+		}
+		fmt.Printf("%-44s %-12s %14.4g %14.4g %+8.2f%%%s\n", d.Bench, d.Metric, d.Old, d.New, d.Pct, mark)
+	}
+	for _, name := range onlyOld {
+		fmt.Printf("%-44s only in %s\n", name, flag.Arg(0))
+	}
+	for _, name := range onlyNew {
+		fmt.Printf("%-44s only in %s\n", name, flag.Arg(1))
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d regression(s) beyond %.3g%%\n", regressions, *threshold)
+		os.Exit(1)
+	}
+	// A gate that compared nothing is a broken gate, not a pass: refuse
+	// rather than green-light a run whose names or metrics drifted away
+	// from the baseline's.
+	if len(deltas) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcmp: no gated metrics were comparable between the snapshots")
+		os.Exit(2)
+	}
+	fmt.Printf("benchcmp: no regressions beyond %.3g%% across %d benchmarks\n", *threshold, len(deltas))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "benchcmp:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,179 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func snap(results ...BenchResult) *Snapshot {
+	return &Snapshot{Date: "2026-07-30", Commit: "abc", Results: results}
+}
+
+func bench(name string, metrics map[string]float64) BenchResult {
+	return BenchResult{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func find(t *testing.T, deltas []Delta, benchName, metric string) Delta {
+	t.Helper()
+	for _, d := range deltas {
+		if d.Bench == benchName && d.Metric == metric {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %s %s", benchName, metric)
+	return Delta{}
+}
+
+// TestThroughputRegressionGates is the CI acceptance scenario: a
+// synthetic >5% sim-instr/s drop must gate, while one within the
+// threshold must not.
+func TestThroughputRegressionGates(t *testing.T) {
+	oldS := snap(bench("BenchmarkWorkloads/PI/pbs=true", map[string]float64{"sim-instr/s": 15_000_000, "allocs/op": 115}))
+
+	newS := snap(bench("BenchmarkWorkloads/PI/pbs=true", map[string]float64{"sim-instr/s": 14_000_000, "allocs/op": 115}))
+	deltas, _, _ := compare(oldS, newS, 5)
+	if d := find(t, deltas, "BenchmarkWorkloads/PI/pbs=true", "sim-instr/s"); !d.Regression {
+		t.Errorf("6.7%% throughput drop did not gate: %+v", d)
+	}
+
+	okS := snap(bench("BenchmarkWorkloads/PI/pbs=true", map[string]float64{"sim-instr/s": 14_400_000, "allocs/op": 115}))
+	deltas, _, _ = compare(oldS, okS, 5)
+	if d := find(t, deltas, "BenchmarkWorkloads/PI/pbs=true", "sim-instr/s"); d.Regression {
+		t.Errorf("4%% throughput drop gated: %+v", d)
+	}
+
+	// Improvements never gate.
+	fastS := snap(bench("BenchmarkWorkloads/PI/pbs=true", map[string]float64{"sim-instr/s": 30_000_000, "allocs/op": 115}))
+	deltas, _, _ = compare(oldS, fastS, 5)
+	if d := find(t, deltas, "BenchmarkWorkloads/PI/pbs=true", "sim-instr/s"); d.Regression {
+		t.Errorf("2x speedup gated: %+v", d)
+	}
+}
+
+func TestAllocRegressionGates(t *testing.T) {
+	oldS := snap(bench("BenchmarkRetireBatch", map[string]float64{"instr/s": 13_000_000, "allocs/op": 0}))
+
+	// 0 -> n allocations: no finite percentage, still a regression.
+	newS := snap(bench("BenchmarkRetireBatch", map[string]float64{"instr/s": 13_000_000, "allocs/op": 3}))
+	deltas, _, _ := compare(oldS, newS, 5)
+	d := find(t, deltas, "BenchmarkRetireBatch", "allocs/op")
+	if !d.Regression || !math.IsInf(d.Pct, 1) {
+		t.Errorf("0 -> 3 allocs/op did not gate: %+v", d)
+	}
+
+	// n -> m within threshold passes; beyond fails.
+	oldS = snap(bench("BenchmarkSweep", map[string]float64{"allocs/op": 2894}))
+	if deltas, _, _ = compare(oldS, snap(bench("BenchmarkSweep", map[string]float64{"allocs/op": 3000})), 5); find(t, deltas, "BenchmarkSweep", "allocs/op").Regression {
+		t.Error("3.7% alloc growth gated")
+	}
+	if deltas, _, _ = compare(oldS, snap(bench("BenchmarkSweep", map[string]float64{"allocs/op": 3100})), 5); !find(t, deltas, "BenchmarkSweep", "allocs/op").Regression {
+		t.Error("7.1% alloc growth did not gate")
+	}
+	// Fewer allocations is an improvement.
+	if deltas, _, _ = compare(oldS, snap(bench("BenchmarkSweep", map[string]float64{"allocs/op": 100})), 5); find(t, deltas, "BenchmarkSweep", "allocs/op").Regression {
+		t.Error("alloc reduction gated")
+	}
+}
+
+// TestGOMAXPROCSSuffixPairs guards the gate against the "-N" suffix go
+// test appends on multi-proc machines: a 1-core baseline must pair with
+// a 4-core CI run, or the gate would silently compare nothing.
+func TestGOMAXPROCSSuffixPairs(t *testing.T) {
+	oldS := snap(bench("BenchmarkWorkloads/PI/pbs=true", map[string]float64{"sim-instr/s": 15_000_000}))
+	newS := snap(bench("BenchmarkWorkloads/PI/pbs=true-4", map[string]float64{"sim-instr/s": 10_000_000}))
+	deltas, onlyOld, onlyNew := compare(oldS, newS, 5)
+	if len(onlyOld)+len(onlyNew) != 0 {
+		t.Fatalf("suffixed benchmark did not pair: onlyOld=%v onlyNew=%v", onlyOld, onlyNew)
+	}
+	if d := find(t, deltas, "BenchmarkWorkloads/PI/pbs=true", "sim-instr/s"); !d.Regression {
+		t.Errorf("regression hidden by the GOMAXPROCS suffix: %+v", d)
+	}
+	// Names whose tail is not a plain integer stay untouched.
+	if got := normalizeName("BenchmarkX/pbs=true"); got != "BenchmarkX/pbs=true" {
+		t.Errorf("normalizeName mangled %q", got)
+	}
+	if got := normalizeName("BenchmarkFigure1-16"); got != "BenchmarkFigure1" {
+		t.Errorf("normalizeName(-16) = %q", got)
+	}
+}
+
+func TestUnpairedBenchmarksNeverGate(t *testing.T) {
+	oldS := snap(
+		bench("BenchmarkGone", map[string]float64{"sim-instr/s": 1}),
+		bench("BenchmarkKept", map[string]float64{"sim-instr/s": 100}),
+	)
+	newS := snap(
+		bench("BenchmarkKept", map[string]float64{"sim-instr/s": 100}),
+		bench("BenchmarkNew", map[string]float64{"allocs/op": 1e9}),
+	)
+	deltas, onlyOld, onlyNew := compare(oldS, newS, 5)
+	for _, d := range deltas {
+		if d.Bench != "BenchmarkKept" {
+			t.Errorf("unpaired benchmark compared: %+v", d)
+		}
+		if d.Regression {
+			t.Errorf("unchanged benchmark gated: %+v", d)
+		}
+	}
+	if len(onlyOld) != 1 || onlyOld[0] != "BenchmarkGone" {
+		t.Errorf("onlyOld = %v", onlyOld)
+	}
+	if len(onlyNew) != 1 || onlyNew[0] != "BenchmarkNew" {
+		t.Errorf("onlyNew = %v", onlyNew)
+	}
+}
+
+func TestUngatedMetricsIgnored(t *testing.T) {
+	// ns/op is machine noise and the simulated metrics are pinned by
+	// tests; none of them gate however far they move.
+	oldS := snap(bench("BenchmarkX", map[string]float64{"ns/op": 100, "IPC": 2.0, "B/op": 1000}))
+	newS := snap(bench("BenchmarkX", map[string]float64{"ns/op": 100000, "IPC": 0.1, "B/op": 1e9}))
+	deltas, _, _ := compare(oldS, newS, 5)
+	if len(deltas) != 0 {
+		t.Errorf("ungated metrics produced deltas: %+v", deltas)
+	}
+}
+
+// TestLoadCommittedBaseline keeps the comparator compatible with the
+// snapshot format bench.sh actually writes, via the committed baseline.
+func TestLoadCommittedBaseline(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_2026-07-30.json")
+	s, err := loadSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) == 0 || s.Date == "" {
+		t.Fatalf("baseline decoded empty: %+v", s)
+	}
+	r := resultsByName(s)
+	pi, ok := r["BenchmarkWorkloads/PI/pbs=true"]
+	if !ok || pi.Metrics["sim-instr/s"] == 0 {
+		t.Fatalf("baseline misses the PI throughput metric: %+v", pi)
+	}
+	// The baseline compared to itself is regression-free.
+	deltas, onlyOld, onlyNew := compare(s, s, 5)
+	if len(onlyOld)+len(onlyNew) != 0 {
+		t.Errorf("self-compare found unpaired benchmarks: %v %v", onlyOld, onlyNew)
+	}
+	for _, d := range deltas {
+		if d.Regression {
+			t.Errorf("self-compare regression: %+v", d)
+		}
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, []byte(`{"date":"x","results":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadSnapshot(empty); err == nil {
+		t.Error("empty snapshot accepted")
+	}
+	if _, err := loadSnapshot(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}

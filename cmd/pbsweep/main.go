@@ -7,6 +7,7 @@
 //
 //	pbsweep                                   # all workloads × both predictors × PBS on/off, JSON on stdout
 //	pbsweep -workloads PI,DOP -seeds 11,23,37 -widths 4,8 -format csv -o results.csv
+//	pbsweep -workloads Genetic -seeds 11,23,37,41 -shard-seeds   # one aggregate point, per-seed shards + mean/CI row
 //	pbsweep -variants plain,predicated,cfd    # Table I baselines (inapplicable combos skipped)
 //	pbsweep -spec grid.json                   # grid from a JSON specification file
 //	pbsweep -list
@@ -43,6 +44,7 @@ func main() {
 		widths    = flag.String("widths", "4", "comma-separated core widths (4 and/or 8)")
 		seeds     = flag.String("seeds", "1", "comma-separated machine RNG seeds")
 		variants  = flag.String("variants", "plain", "comma-separated program variants: plain | predicated | cfd (inapplicable combinations are skipped)")
+		shard     = flag.Bool("shard-seeds", false, "collapse the seed axis: run each coordinate as one aggregate point whose per-seed shards fan across the worker pool; output gains a mean/95%-CI aggregate row per point alongside the per-seed rows")
 		scale     = flag.Int("scale", 1, "workload iteration scale")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		format    = flag.String("format", "json", "output format: json | csv")
@@ -78,7 +80,7 @@ func main() {
 	if *format != "json" && *format != "csv" {
 		fail(fmt.Errorf("unknown format %q (want json or csv)", *format))
 	}
-	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel)
+	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel, *shard)
 	if err != nil {
 		fail(err)
 	}
@@ -96,7 +98,9 @@ func main() {
 				return
 			}
 			printed = done
-			fmt.Fprintf(os.Stderr, "\rpbsweep: %d/%d points", done, total)
+			// With -shard-seeds each run is one seed shard of an
+			// aggregate point, so the count tracks shard completion.
+			fmt.Fprintf(os.Stderr, "\rpbsweep: %d/%d runs", done, total)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
@@ -138,7 +142,7 @@ func main() {
 	}
 }
 
-func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int) (sweep.Grid, error) {
+func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int, shard bool) (sweep.Grid, error) {
 	var g sweep.Grid
 	if spec != "" {
 		data, err := os.ReadFile(spec)
@@ -157,6 +161,11 @@ func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants strin
 		// with a spec file (a spec "parallel" wins unless the flag is set).
 		if parallel != 0 {
 			g.Parallel = parallel
+		}
+		// Likewise -shard-seeds only widens scheduling; a spec
+		// "shard_seeds": true cannot be un-set by the flag's default.
+		if shard {
+			g.ShardSeeds = true
 		}
 		return g, nil
 	}
@@ -201,6 +210,7 @@ func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants strin
 	g.SkipInapplicable = true
 	g.Scale = scale
 	g.Parallel = parallel
+	g.ShardSeeds = shard
 	return g, nil
 }
 

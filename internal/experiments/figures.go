@@ -281,30 +281,35 @@ type Fig9 struct{ Rows []Fig9Row }
 // across 7 seeds).
 func Figure9(opt Options) (*Fig9, error) {
 	names := workloadNames()
+	// Sharded: each (workload, filter setting) is one aggregate point
+	// whose per-seed runs fan across the pool, rather than seven
+	// sequentialized cache lookups.
 	res, err := runGrids(opt, sweep.Grid{
 		Workloads:  names,
 		Predictors: []sim.PredictorKind{sim.PredTournament},
 		Seeds:      opt.Seeds,
 		FilterProb: []bool{false, true},
+		ShardSeeds: true,
 	})
 	if err != nil {
 		return nil, err
 	}
+	set := sweep.MakeSeedSet(opt.Seeds)
 	rows := make([]Fig9Row, len(names))
 	for i, name := range names {
 		row := Fig9Row{Workload: name}
-		for _, seed := range opt.Seeds {
-			withProb, err := res.Get(sweep.Key{Workload: name, Predictor: sim.PredTournament, Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			filtered, err := res.Get(sweep.Key{Workload: name, Predictor: sim.PredTournament, Seed: seed, FilterProb: true})
-			if err != nil {
-				return nil, err
-			}
+		withProb, err := res.GetAggregate(sweep.Key{Workload: name, Predictor: sim.PredTournament, Seeds: set})
+		if err != nil {
+			return nil, err
+		}
+		filtered, err := res.GetAggregate(sweep.Key{Workload: name, Predictor: sim.PredTournament, Seeds: set, FilterProb: true})
+		if err != nil {
+			return nil, err
+		}
+		for s := range opt.Seeds {
 			inc := 0.0
-			a := withProb.Timing.MPKIReg()
-			b := filtered.Timing.MPKIReg()
+			a := withProb.Sims[s].Timing.MPKIReg()
+			b := filtered.Sims[s].Timing.MPKIReg()
 			if b > 0 {
 				inc = 100 * (a - b) / b
 			}

@@ -2,7 +2,10 @@ package experiments
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
+
+	"repro/internal/stats"
 )
 
 func TestTimeSeries(t *testing.T) {
@@ -37,5 +40,62 @@ func TestTimeSeries(t *testing.T) {
 
 	if _, err := TimeSeries("PI", true, 0, QuickOptions()); err == nil {
 		t.Error("zero interval accepted")
+	}
+}
+
+func TestTimeSeriesCI(t *testing.T) {
+	const interval = 250_000
+	opt := QuickOptions()
+	ci, err := TimeSeriesCI("PI", true, interval, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ci.PerSeed) != len(opt.Seeds) {
+		t.Fatalf("got %d per-seed series, want %d", len(ci.PerSeed), len(opt.Seeds))
+	}
+	if len(ci.Points) < 4 {
+		t.Fatalf("only %d merged samples at interval %d", len(ci.Points), interval)
+	}
+	// The parallel shards are byte-identical to sequential runs of the
+	// same seeds.
+	for i, seed := range opt.Seeds {
+		seq := opt
+		seq.Seeds = []uint64{seed}
+		want, err := TimeSeries("PI", true, interval, seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ci.PerSeed[i], want) {
+			t.Errorf("seed %d: sharded series differs from sequential run", seed)
+		}
+	}
+	for i, p := range ci.Points {
+		for name, s := range map[string]stats.Summary{
+			"instrs": p.Instructions, "IPC": p.IPC, "MPKI": p.MPKI,
+		} {
+			if s.Mean < s.CI.Lo || s.Mean > s.CI.Hi {
+				t.Errorf("sample %d: %s mean %v outside CI %v", i, name, s.Mean, s.CI)
+			}
+		}
+		if p.IPC.Mean <= 0 {
+			t.Errorf("sample %d: nonpositive mean IPC", i)
+		}
+	}
+	// The warm-up dynamic holds in the mean, not just for one seed (the
+	// final sample may be a partial interval for some seeds; use the one
+	// before it).
+	first, last := ci.Points[0], ci.Points[len(ci.Points)-2]
+	if last.Steered.Mean < 0.9 {
+		t.Errorf("steering never warmed up in the mean: %.2f", last.Steered.Mean)
+	}
+	if last.MPKIProb.Mean > first.MPKIProb.Mean/2 {
+		t.Errorf("mean prob MPKI did not collapse: first %.2f, last %.2f", first.MPKIProb.Mean, last.MPKIProb.Mean)
+	}
+	if testing.Verbose() {
+		fmt.Println(ci)
+	}
+
+	if _, err := TimeSeriesCI("PI", true, interval, Options{Scale: 1}); err == nil {
+		t.Error("empty seed set accepted")
 	}
 }

@@ -92,6 +92,22 @@ func (iv Interval) Overlaps(other Interval) bool {
 
 func (iv Interval) String() string { return fmt.Sprintf("[%.3g, %.3g]", iv.Lo, iv.Hi) }
 
+// Summary pairs a sample mean with its 95% Student-t confidence
+// interval — the per-metric record a merged multi-seed sweep point
+// carries (see internal/sweep.Aggregate).
+type Summary struct {
+	Mean float64
+	CI   Interval
+}
+
+func (s Summary) String() string { return fmt.Sprintf("%.4g %v", s.Mean, s.CI) }
+
+// Summarize95 condenses a sample into its mean and 95% CI.
+func Summarize95(xs []float64) Summary {
+	m, iv := MeanCI95(xs)
+	return Summary{Mean: m, CI: iv}
+}
+
 // MeanCI95 returns the sample mean and its 95% Student-t confidence
 // interval.
 func MeanCI95(xs []float64) (float64, Interval) {

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workloads"
 )
 
@@ -35,22 +36,61 @@ func NewEngine() *Engine {
 	return &Engine{Programs: NewProgramCache(), Results: NewResultCache()}
 }
 
-// Result pairs a point with everything its simulation produced.
+// Result pairs a point with everything its simulation produced. Exactly
+// one of Sim and Agg is set: Sim for an ordinary single-seed point, Agg
+// for an aggregate point the engine sharded per seed and merged.
 type Result struct {
 	Point Point
 	Sim   *sim.Result
+	Agg   *Aggregate
+}
+
+// Aggregate is the merged record of one multi-seed point: the per-seed
+// simulation results in seed-set order, plus mean/95%-CI summaries of
+// the headline metrics across seeds (Student-t intervals, the paper's
+// reporting convention). The per-seed results are exactly what the
+// equivalent single-seed points produce — sharding changes scheduling,
+// never numbers — so any seed-looping analysis can run off Sims
+// unchanged.
+type Aggregate struct {
+	Seeds []uint64
+	Sims  []*sim.Result
+
+	Instructions stats.Summary
+	Cycles       stats.Summary
+	IPC          stats.Summary
+	MPKI         stats.Summary
+	MPKIProb     stats.Summary
+	MPKIReg      stats.Summary
+}
+
+// newAggregate merges completed shard results, in seed order.
+func newAggregate(seeds []uint64, sims []*sim.Result) *Aggregate {
+	collect := func(f func(*sim.Result) float64) stats.Summary {
+		xs := make([]float64, len(sims))
+		for i, s := range sims {
+			xs[i] = f(s)
+		}
+		return stats.Summarize95(xs)
+	}
+	return &Aggregate{
+		Seeds:        seeds,
+		Sims:         sims,
+		Instructions: collect(func(s *sim.Result) float64 { return float64(s.Emu.Instructions) }),
+		Cycles:       collect(func(s *sim.Result) float64 { return float64(s.Timing.Cycles) }),
+		IPC:          collect(func(s *sim.Result) float64 { return s.Timing.IPC() }),
+		MPKI:         collect(func(s *sim.Result) float64 { return s.Timing.MPKI() }),
+		MPKIProb:     collect(func(s *sim.Result) float64 { return s.Timing.MPKIProb() }),
+		MPKIReg:      collect(func(s *sim.Result) float64 { return s.Timing.MPKIReg() }),
+	}
 }
 
 // Results holds one completed sweep, in point order.
 type Results []Result
 
-// Get returns the simulation result at the key (zero-value fields mean
-// the axis defaults, see Key). A Results set merged from several grids
-// may hold one key under different run parameters (say, a timing and a
-// skip-timing run of the same configuration); such a lookup is ambiguous
-// and fails rather than silently answering with either.
-func (rs Results) Get(k Key) (*sim.Result, error) {
-	k = k.normalize()
+// lookup scans for the normalized key, rejecting run-parameter
+// ambiguity (see Get).
+func (rs Results) lookup(k Key) (*Result, error) {
 	var found *Result
 	for i := range rs {
 		if rs[i].Point.Key != k {
@@ -66,7 +106,40 @@ func (rs Results) Get(k Key) (*sim.Result, error) {
 	if found == nil {
 		return nil, fmt.Errorf("sweep: no result for %+v", k)
 	}
+	return found, nil
+}
+
+// Get returns the simulation result at the key (zero-value fields mean
+// the axis defaults, see Key). A Results set merged from several grids
+// may hold one key under different run parameters (say, a timing and a
+// skip-timing run of the same configuration); such a lookup is ambiguous
+// and fails rather than silently answering with either. Aggregate points
+// are looked up with GetAggregate, not Get.
+func (rs Results) Get(k Key) (*sim.Result, error) {
+	k = k.normalize()
+	if k.Sharded() {
+		return nil, fmt.Errorf("sweep: %+v is an aggregate key; use GetAggregate", k)
+	}
+	found, err := rs.lookup(k)
+	if err != nil {
+		return nil, err
+	}
 	return found.Sim, nil
+}
+
+// GetAggregate returns the merged multi-seed result at the aggregate key
+// (one whose Seeds names the canonical seed set, see MakeSeedSet). The
+// same ambiguity rule as Get applies.
+func (rs Results) GetAggregate(k Key) (*Aggregate, error) {
+	k = k.normalize()
+	if !k.Sharded() {
+		return nil, fmt.Errorf("sweep: %+v is not an aggregate key (set Seeds via MakeSeedSet)", k)
+	}
+	found, err := rs.lookup(k)
+	if err != nil {
+		return nil, err
+	}
+	return found.Agg, nil
 }
 
 // Run expands the grid and executes every point.
@@ -79,19 +152,62 @@ func (e *Engine) Run(ctx context.Context, g Grid) (Results, error) {
 }
 
 // RunPoints executes the points with at most parallel concurrent
-// simulations (0 means GOMAXPROCS). The first error aborts the sweep: no
-// further points are dispatched, and the error is returned once in-flight
-// points drain. Results are positionally deterministic — the same points
+// simulations (0 means GOMAXPROCS). An aggregate point (non-empty
+// Key.Seeds) fans out into one shard job per seed, so a lone multi-seed
+// point saturates the pool; its shards are ordinary single-seed points
+// that hit the shared result memo, and their completed results merge
+// into an Aggregate in seed order. The first error aborts the sweep: no
+// further jobs are dispatched, and the error is returned once in-flight
+// jobs drain. Results are positionally deterministic — the same points
 // produce the same results at any parallelism.
 func (e *Engine) RunPoints(ctx context.Context, pts []Point, parallel int) (Results, error) {
 	if len(pts) == 0 {
 		return nil, ctx.Err()
 	}
+
+	// Expand the points into shard-level jobs. shard -1 is a plain
+	// single-seed point; otherwise the job runs seedsOf[point][shard] of
+	// an aggregate point. Aggregates already in the memo skip scheduling
+	// entirely.
+	type job struct{ point, shard int }
+	norm := make([]Point, len(pts))
+	var jobList []job
+	sims := make([]*sim.Result, len(pts))
+	aggs := make([]*Aggregate, len(pts))
+	shardSims := make([][]*sim.Result, len(pts))
+	seedsOf := make([][]uint64, len(pts))
+	for i, p := range pts {
+		p = p.normalize()
+		norm[i] = p
+		if !p.Sharded() {
+			jobList = append(jobList, job{i, -1})
+			continue
+		}
+		if p.Seed != 0 {
+			return nil, fmt.Errorf("sweep: aggregate point %s sets both Seed and Seeds", p)
+		}
+		seeds := p.Key.Seeds.Seeds()
+		if len(seeds) == 0 {
+			return nil, fmt.Errorf("sweep: aggregate point %s has a malformed seed set %q", p, p.Key.Seeds)
+		}
+		seedsOf[i] = seeds
+		if e.Results != nil && !p.CaptureProb {
+			if agg, ok := e.Results.getAgg(p); ok {
+				aggs[i] = agg
+				continue
+			}
+		}
+		shardSims[i] = make([]*sim.Result, len(seeds))
+		for j := range seeds {
+			jobList = append(jobList, job{i, j})
+		}
+	}
+
 	if parallel < 1 {
 		parallel = runtime.GOMAXPROCS(0)
 	}
-	if parallel > len(pts) {
-		parallel = len(pts)
+	if parallel > len(jobList) {
+		parallel = len(jobList)
 	}
 
 	ctx, cancel := context.WithCancel(ctx)
@@ -112,34 +228,41 @@ func (e *Engine) RunPoints(ctx context.Context, pts []Point, parallel int) (Resu
 		cancel()
 	}
 
-	sims := make([]*sim.Result, len(pts))
-	jobs := make(chan int)
+	jobs := make(chan job)
 	for range parallel {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for jb := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without running after an abort
 				}
-				res, err := e.runPoint(pts[i])
+				p := norm[jb.point]
+				if jb.shard >= 0 {
+					p = p.Shard(seedsOf[jb.point][jb.shard])
+				}
+				res, err := e.runPoint(p)
 				if err != nil {
 					// No "sweep:" prefix: the wrapped error carries its
 					// package prefix already.
-					fail(fmt.Errorf("%s: %w", pts[i], err))
+					fail(fmt.Errorf("%s: %w", p, err))
 					continue
 				}
-				sims[i] = res
+				if jb.shard >= 0 {
+					shardSims[jb.point][jb.shard] = res
+				} else {
+					sims[jb.point] = res
+				}
 				if e.OnProgress != nil {
-					e.OnProgress(int(done.Add(1)), len(pts))
+					e.OnProgress(int(done.Add(1)), len(jobList))
 				}
 			}
 		}()
 	}
 dispatch:
-	for i := range pts {
+	for _, jb := range jobList {
 		select {
-		case jobs <- i:
+		case jobs <- jb:
 		case <-ctx.Done():
 			break dispatch
 		}
@@ -153,9 +276,22 @@ dispatch:
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	// Merge completed shards, in seed order; the merge is a pure function
+	// of the per-seed results, so re-merging memoized shards is
+	// idempotent.
+	for i, shards := range shardSims {
+		if shards == nil {
+			continue
+		}
+		agg := newAggregate(seedsOf[i], shards)
+		if e.Results != nil && !norm[i].CaptureProb {
+			e.Results.putAgg(norm[i], agg)
+		}
+		aggs[i] = agg
+	}
 	out := make(Results, len(pts))
-	for i, p := range pts {
-		out[i] = Result{Point: p.normalize(), Sim: sims[i]}
+	for i := range norm {
+		out[i] = Result{Point: norm[i], Sim: sims[i], Agg: aggs[i]}
 	}
 	return out, nil
 }
@@ -243,18 +379,22 @@ func (c *ProgramCache) Get(workload string, scale int, variant workloads.Variant
 	return e.prog, e.err
 }
 
-// ResultCache memoizes completed simulations by normalized point. Results
-// are deterministic functions of their point, so a memoized result is
+// ResultCache memoizes completed simulations by normalized point, and
+// merged aggregates by normalized aggregate point. Results are
+// deterministic functions of their point, so a memoized result is
 // indistinguishable from a fresh run; callers must treat them as
-// read-only, as they are shared.
+// read-only, as they are shared. Aggregates memoize independently of
+// their shards: an aggregate built partly from memoized shards merges to
+// the same record as one built fresh, so the two layers never disagree.
 type ResultCache struct {
-	mu sync.Mutex
-	m  map[Point]*sim.Result
+	mu   sync.Mutex
+	m    map[Point]*sim.Result
+	aggs map[Point]*Aggregate
 }
 
 // NewResultCache returns an empty result cache.
 func NewResultCache() *ResultCache {
-	return &ResultCache{m: make(map[Point]*sim.Result)}
+	return &ResultCache{m: make(map[Point]*sim.Result), aggs: make(map[Point]*Aggregate)}
 }
 
 func (c *ResultCache) get(p Point) (*sim.Result, bool) {
@@ -268,4 +408,17 @@ func (c *ResultCache) put(p Point, res *sim.Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[p] = res
+}
+
+func (c *ResultCache) getAgg(p Point) (*Aggregate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	agg, ok := c.aggs[p]
+	return agg, ok
+}
+
+func (c *ResultCache) putAgg(p Point, agg *Aggregate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aggs[p] = agg
 }

@@ -12,6 +12,8 @@ package sweep
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/pipeline"
 	"repro/internal/sim"
@@ -52,20 +54,82 @@ type Grid struct {
 	MaxInstrs uint64 `json:"max_instrs,omitempty"`
 	// Parallel bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallel int `json:"parallel,omitempty"`
+	// ShardSeeds collapses the Seeds axis: instead of one grid point per
+	// seed, each coordinate becomes a single aggregate point carrying the
+	// whole seed set, which the engine fans out into per-seed shard jobs
+	// and merges into an Aggregate (per-seed results plus mean/95%-CI
+	// summaries). A lone multi-seed figure point then spreads across the
+	// full worker pool.
+	ShardSeeds bool `json:"shard_seeds,omitempty"`
+}
+
+// SeedSet is the canonical identity of an ordered seed list: the seeds
+// in run order, comma-joined. It is a comparable scalar so it can live
+// in a Key (and thus in result-cache map keys). Order is significant —
+// shards run and merge in exactly this order, which is what makes a
+// sharded aggregate byte-identical to a sequential loop over the same
+// seeds.
+type SeedSet string
+
+// MakeSeedSet builds the canonical identity of the seed list.
+func MakeSeedSet(seeds []uint64) SeedSet {
+	var sb strings.Builder
+	for i, s := range seeds {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.FormatUint(s, 10))
+	}
+	return SeedSet(sb.String())
+}
+
+// Seeds decodes the set back into its ordered seed list (nil for the
+// empty set). Malformed entries cannot arise from MakeSeedSet; a
+// hand-built set with one fails decoding as a zero seed.
+func (s SeedSet) Seeds() []uint64 {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(string(s), ",")
+	out := make([]uint64, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// Count returns the number of seeds in the set.
+func (s SeedSet) Count() int {
+	if s == "" {
+		return 0
+	}
+	return strings.Count(string(s), ",") + 1
 }
 
 // Key identifies one point of a sweep along the grid axes, for looking a
 // result up in a Results set. Zero-value fields mean the defaults (width
-// 4, the tage-sc-l predictor, the plain variant).
+// 4, the tage-sc-l predictor, the plain variant). Exactly one of Seed
+// and Seeds is meaningful: a key with a non-empty Seeds is an aggregate
+// point — the identity of a whole multi-seed study — and its Seed must
+// be zero.
 type Key struct {
 	Workload   string
 	Predictor  sim.PredictorKind
 	PBS        bool
 	Width      int
 	Seed       uint64
+	Seeds      SeedSet
 	Variant    workloads.Variant
 	FilterProb bool
 }
+
+// Sharded reports whether the key identifies an aggregate (multi-seed)
+// point.
+func (k Key) Sharded() bool { return k.Seeds != "" }
 
 func (k Key) normalize() Key {
 	if k.Width == 0 {
@@ -96,7 +160,11 @@ func (p Point) normalize() Point {
 }
 
 func (p Point) String() string {
-	s := fmt.Sprintf("%s/%s/pbs=%v/%d-wide/seed=%d", p.Workload, p.Predictor, p.PBS, p.Width, p.Seed)
+	seed := fmt.Sprintf("seed=%d", p.Seed)
+	if p.Sharded() {
+		seed = "seeds=" + string(p.Seeds)
+	}
+	s := fmt.Sprintf("%s/%s/pbs=%v/%d-wide/%s", p.Workload, p.Predictor, p.PBS, p.Width, seed)
 	if p.Variant != workloads.VariantPlain {
 		s += "/" + p.Variant.String()
 	}
@@ -106,9 +174,22 @@ func (p Point) String() string {
 	return s
 }
 
+// Shard returns the single-seed point executing one shard of an
+// aggregate point: the same coordinates with the given seed in place of
+// the seed set.
+func (p Point) Shard(seed uint64) Point {
+	p.Key.Seeds = ""
+	p.Key.Seed = seed
+	return p
+}
+
 // Options translates the point into session options for sim.New; append
-// sim.WithProgram to run a cached program build.
+// sim.WithProgram to run a cached program build. Aggregate points do not
+// run directly — the engine shards them — so they have no options.
 func (p Point) Options() ([]sim.Option, error) {
+	if p.Sharded() {
+		return nil, fmt.Errorf("sweep: aggregate point %s cannot run directly (the engine shards it per seed)", p)
+	}
 	opts := []sim.Option{
 		sim.WithScale(p.Scale),
 		sim.WithSeed(p.Seed),
@@ -201,22 +282,33 @@ func (g Grid) Points() ([]Point, error) {
 				for _, width := range widths {
 					for _, on := range pbs {
 						for _, filt := range filter {
-							for _, seed := range seeds {
+							key := Key{
+								Workload:   name,
+								Predictor:  pred,
+								PBS:        on,
+								Width:      width,
+								Variant:    variant,
+								FilterProb: filt,
+							}
+							add := func(k Key) {
 								pts = append(pts, Point{
-									Key: Key{
-										Workload:   name,
-										Predictor:  pred,
-										PBS:        on,
-										Width:      width,
-										Seed:       seed,
-										Variant:    variant,
-										FilterProb: filt,
-									}.normalize(),
+									Key:         k.normalize(),
 									Scale:       scale,
 									SkipTiming:  g.SkipTiming,
 									CaptureProb: g.CaptureProb,
 									MaxInstrs:   g.MaxInstrs,
 								})
+							}
+							if g.ShardSeeds {
+								// One aggregate point carrying the whole
+								// seed set instead of a point per seed.
+								key.Seeds = MakeSeedSet(seeds)
+								add(key)
+								continue
+							}
+							for _, seed := range seeds {
+								key.Seed = seed
+								add(key)
 							}
 						}
 					}

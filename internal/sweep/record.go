@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
+
+	"repro/internal/sim"
 )
 
 // Record is the flat, machine-readable form of one sweep result: the
@@ -46,54 +49,144 @@ type Record struct {
 	PBSCapacityMiss   uint64 `json:"pbs_capacity_misses,omitempty"`
 
 	Outputs int `json:"outputs"`
+
+	// Aggregate rows summarize a sharded multi-seed point: SeedSet names
+	// the canonical seed list, integer counters hold means rounded to the
+	// nearest integer, float metrics hold exact means, and the CI fields
+	// carry the 95% Student-t interval across seeds. Per-seed rows of the
+	// same point precede their aggregate row in Records order.
+	Aggregate bool    `json:"aggregate,omitempty"`
+	SeedSet   string  `json:"seed_set,omitempty"`
+	IPCCILo   float64 `json:"ipc_ci_lo,omitempty"`
+	IPCCIHi   float64 `json:"ipc_ci_hi,omitempty"`
+	MPKICILo  float64 `json:"mpki_ci_lo,omitempty"`
+	MPKICIHi  float64 `json:"mpki_ci_hi,omitempty"`
 }
 
-// Record flattens the result for serialization.
+// Record flattens the result for serialization: the per-point row for a
+// single-seed result, the aggregate summary row for a sharded one (use
+// Records for the per-seed rows as well).
 func (r Result) Record() Record {
 	p := r.Point.normalize()
-	m := r.Sim.Timing
-	s := r.Sim.PBSStats
+	if r.Agg != nil {
+		return aggRecord(p, r.Agg)
+	}
+	return simRecord(p, r.Sim)
+}
+
+// Records flattens the result into one or more rows: a single-seed
+// result is one row; a sharded result is one row per seed shard followed
+// by the aggregate summary row.
+func (r Result) Records() []Record {
+	if r.Agg == nil {
+		return []Record{r.Record()}
+	}
+	p := r.Point.normalize()
+	out := make([]Record, 0, len(r.Agg.Sims)+1)
+	for i, s := range r.Agg.Sims {
+		out = append(out, simRecord(p.Shard(r.Agg.Seeds[i]), s))
+	}
+	return append(out, aggRecord(p, r.Agg))
+}
+
+// pointRecord copies the point's coordinates — everything that
+// identifies a row rather than measures it — into a Record. Both row
+// kinds start here, so a new grid axis is threaded through exactly one
+// place.
+func pointRecord(p Point) Record {
 	return Record{
 		Workload:    p.Workload,
 		Predictor:   string(p.Predictor),
 		PBS:         p.PBS,
 		Width:       p.Width,
 		Seed:        p.Seed,
+		SeedSet:     string(p.Key.Seeds),
 		Variant:     p.Variant.String(),
 		FilterProb:  p.FilterProb,
 		Scale:       p.Scale,
 		SkipTiming:  p.SkipTiming,
 		CaptureProb: p.CaptureProb,
 		MaxInstrs:   p.MaxInstrs,
-
-		Instructions: r.Sim.Emu.Instructions,
-		Cycles:       m.Cycles,
-		IPC:          m.IPC(),
-		Branches:     m.Branches,
-		CondBranches: m.CondBranches,
-		ProbBranches: m.ProbBranches,
-		Mispredicts:  m.Mispredicts,
-		MPKI:         m.MPKI(),
-		MPKIProb:     m.MPKIProb(),
-		MPKIReg:      m.MPKIReg(),
-		ProbSteered:  m.ProbSteered,
-		ProbBoot:     m.ProbBoot,
-		ProbRegular:  m.ProbRegular,
-
-		PBSAllocations:    s.Allocations,
-		PBSContextClears:  s.ContextClears,
-		PBSConstViolation: s.ConstViolations,
-		PBSCapacityMiss:   s.CapacityMisses,
-
-		Outputs: len(r.Sim.Outputs),
 	}
 }
 
-// Records flattens every result.
+// aggRecord builds the aggregate summary row of a sharded point: means
+// across seeds (integer counters rounded) plus the 95% CIs of the
+// headline metrics.
+func aggRecord(p Point, a *Aggregate) Record {
+	rec := pointRecord(p)
+	rec.Aggregate = true
+	rec.Instructions = uint64(math.Round(a.Instructions.Mean))
+	rec.Cycles = uint64(math.Round(a.Cycles.Mean))
+	rec.IPC = a.IPC.Mean
+	rec.MPKI = a.MPKI.Mean
+	rec.MPKIProb = a.MPKIProb.Mean
+	rec.MPKIReg = a.MPKIReg.Mean
+	rec.IPCCILo = a.IPC.CI.Lo
+	rec.IPCCIHi = a.IPC.CI.Hi
+	rec.MPKICILo = a.MPKI.CI.Lo
+	rec.MPKICIHi = a.MPKI.CI.Hi
+	meanU := func(f func(*sim.Result) uint64) uint64 {
+		s := 0.0
+		for _, r := range a.Sims {
+			s += float64(f(r))
+		}
+		return uint64(math.Round(s / float64(len(a.Sims))))
+	}
+	rec.Branches = meanU(func(r *sim.Result) uint64 { return r.Timing.Branches })
+	rec.CondBranches = meanU(func(r *sim.Result) uint64 { return r.Timing.CondBranches })
+	rec.ProbBranches = meanU(func(r *sim.Result) uint64 { return r.Timing.ProbBranches })
+	rec.Mispredicts = meanU(func(r *sim.Result) uint64 { return r.Timing.Mispredicts })
+	rec.ProbSteered = meanU(func(r *sim.Result) uint64 { return r.Timing.ProbSteered })
+	rec.ProbBoot = meanU(func(r *sim.Result) uint64 { return r.Timing.ProbBoot })
+	rec.ProbRegular = meanU(func(r *sim.Result) uint64 { return r.Timing.ProbRegular })
+	rec.PBSAllocations = meanU(func(r *sim.Result) uint64 { return r.PBSStats.Allocations })
+	rec.PBSContextClears = meanU(func(r *sim.Result) uint64 { return r.PBSStats.ContextClears })
+	rec.PBSConstViolation = meanU(func(r *sim.Result) uint64 { return r.PBSStats.ConstViolations })
+	rec.PBSCapacityMiss = meanU(func(r *sim.Result) uint64 { return r.PBSStats.CapacityMisses })
+	outs := 0.0
+	for _, r := range a.Sims {
+		outs += float64(len(r.Outputs))
+	}
+	rec.Outputs = int(math.Round(outs / float64(len(a.Sims))))
+	return rec
+}
+
+// simRecord flattens one single-seed simulation.
+func simRecord(p Point, res *sim.Result) Record {
+	m := res.Timing
+	s := res.PBSStats
+	rec := pointRecord(p)
+
+	rec.Instructions = res.Emu.Instructions
+	rec.Cycles = m.Cycles
+	rec.IPC = m.IPC()
+	rec.Branches = m.Branches
+	rec.CondBranches = m.CondBranches
+	rec.ProbBranches = m.ProbBranches
+	rec.Mispredicts = m.Mispredicts
+	rec.MPKI = m.MPKI()
+	rec.MPKIProb = m.MPKIProb()
+	rec.MPKIReg = m.MPKIReg()
+	rec.ProbSteered = m.ProbSteered
+	rec.ProbBoot = m.ProbBoot
+	rec.ProbRegular = m.ProbRegular
+
+	rec.PBSAllocations = s.Allocations
+	rec.PBSContextClears = s.ContextClears
+	rec.PBSConstViolation = s.ConstViolations
+	rec.PBSCapacityMiss = s.CapacityMisses
+
+	rec.Outputs = len(res.Outputs)
+	return rec
+}
+
+// Records flattens every result; sharded results contribute their
+// per-seed rows followed by their aggregate row.
 func (rs Results) Records() []Record {
-	out := make([]Record, len(rs))
-	for i, r := range rs {
-		out[i] = r.Record()
+	var out []Record
+	for _, r := range rs {
+		out = append(out, r.Records()...)
 	}
 	return out
 }
@@ -114,6 +207,7 @@ var csvColumns = []string{
 	"prob_steered", "prob_bootstrap", "prob_regular",
 	"pbs_allocations", "pbs_context_clears", "pbs_const_violations", "pbs_capacity_misses",
 	"outputs",
+	"aggregate", "seed_set", "ipc_ci_lo", "ipc_ci_hi", "mpki_ci_lo", "mpki_ci_hi",
 }
 
 // WriteCSV writes the results as CSV with a header row.
@@ -124,8 +218,7 @@ func (rs Results) WriteCSV(w io.Writer) error {
 	}
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	for _, r := range rs {
-		rec := r.Record()
+	for _, rec := range rs.Records() {
 		row := []string{
 			rec.Workload, rec.Predictor, strconv.FormatBool(rec.PBS),
 			strconv.Itoa(rec.Width), u(rec.Seed), rec.Variant,
@@ -138,6 +231,8 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			u(rec.PBSAllocations), u(rec.PBSContextClears),
 			u(rec.PBSConstViolation), u(rec.PBSCapacityMiss),
 			strconv.Itoa(rec.Outputs),
+			strconv.FormatBool(rec.Aggregate), rec.SeedSet,
+			f(rec.IPCCILo), f(rec.IPCCIHi), f(rec.MPKICILo), f(rec.MPKICIHi),
 		}
 		if len(row) != len(csvColumns) {
 			return fmt.Errorf("sweep: csv row has %d fields, header has %d", len(row), len(csvColumns))
