@@ -33,6 +33,7 @@ func main() {
 		scale     = flag.Int("scale", 1, "iteration scale factor")
 		wide      = flag.Int("wide", 4, "core width: 4 (168-entry ROB) or 8 (256-entry ROB)")
 		filter    = flag.Bool("filter-prob", false, "exclude probabilistic branches from the predictor (Fig 9 experiment)")
+		syncT     = flag.Bool("sync-timing", false, "run the timing model synchronously on the emulating goroutine (escape hatch; by default it consumes the trace on its own goroutine when more than one CPU is available)")
 		sample    = flag.Uint64("sample", 0, "print an interval snapshot every N retired instructions (0 = off)")
 		list      = flag.Bool("list", false, "list benchmarks and predictors, then exit")
 		dump      = flag.Bool("dump", false, "print the program disassembly and exit")
@@ -67,6 +68,9 @@ func main() {
 		sim.WithPredictor(sim.PredictorKind(*predictor)),
 		sim.WithPBS(*pbs),
 		sim.WithFilterProb(*filter),
+	}
+	if *syncT {
+		opts = append(opts, sim.WithSyncTiming())
 	}
 	switch *wide {
 	case 4:

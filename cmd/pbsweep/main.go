@@ -45,6 +45,7 @@ func main() {
 		seeds     = flag.String("seeds", "1", "comma-separated machine RNG seeds")
 		variants  = flag.String("variants", "plain", "comma-separated program variants: plain | predicated | cfd (inapplicable combinations are skipped)")
 		shard     = flag.Bool("shard-seeds", false, "collapse the seed axis: run each coordinate as one aggregate point whose per-seed shards fan across the worker pool; output gains a mean/95%-CI aggregate row per point alongside the per-seed rows")
+		syncT     = flag.Bool("sync-timing", false, "force synchronous timing in every simulation (escape hatch; by default the engine overlaps emulation and timing per point only when the worker pool leaves cores idle)")
 		scale     = flag.Int("scale", 1, "workload iteration scale")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		format    = flag.String("format", "json", "output format: json | csv")
@@ -80,7 +81,7 @@ func main() {
 	if *format != "json" && *format != "csv" {
 		fail(fmt.Errorf("unknown format %q (want json or csv)", *format))
 	}
-	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel, *shard)
+	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel, *shard, *syncT)
 	if err != nil {
 		fail(err)
 	}
@@ -142,7 +143,7 @@ func main() {
 	}
 }
 
-func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int, shard bool) (sweep.Grid, error) {
+func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int, shard, syncTiming bool) (sweep.Grid, error) {
 	var g sweep.Grid
 	if spec != "" {
 		data, err := os.ReadFile(spec)
@@ -166,6 +167,11 @@ func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants strin
 		// "shard_seeds": true cannot be un-set by the flag's default.
 		if shard {
 			g.ShardSeeds = true
+		}
+		// -sync-timing, like a spec "sync_timing", only ever forces the
+		// synchronous path; the flag's default never un-sets the spec's.
+		if syncTiming {
+			g.SyncTiming = true
 		}
 		return g, nil
 	}
@@ -211,6 +217,7 @@ func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants strin
 	g.Scale = scale
 	g.Parallel = parallel
 	g.ShardSeeds = shard
+	g.SyncTiming = syncTiming
 	return g, nil
 }
 

@@ -22,16 +22,22 @@ func L1D32K() Config { return Config{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8
 // L2Unified2M returns the paper's 2 MB unified L2 configuration.
 func L2Unified2M() Config { return Config{SizeBytes: 2 << 20, LineBytes: 64, Ways: 16, HitLatency: 12} }
 
-type line struct {
-	valid bool
-	tag   uint64
-	lru   uint64
-}
+// validBit marks a way as holding a line in the packed tag word. Tags
+// are block>>1 with block = addr>>lineBits, so for any address below
+// 2^63 the tag cannot collide with the bit.
+const validBit uint64 = 1 << 63
 
-// Cache is one set-associative cache level.
+// Cache is one set-associative cache level. Tag and valid state are
+// packed into one uint64 per way (validBit | tag), stored set-major in a
+// flat array, so the hit scan — the timing model runs one per fetched
+// instruction — is a handful of contiguous single-word compares with no
+// struct field loads. LRU clocks live in a parallel array touched only
+// on a hit's update and on the miss-path victim scan.
 type Cache struct {
 	cfg      Config
-	sets     [][]line
+	tags     []uint64 // validBit|tag per way, set-major
+	lru      []uint64 // last-touch clock per way, set-major
+	ways     int
 	setMask  uint64
 	lineBits uint
 	clock    uint64
@@ -61,12 +67,9 @@ func New(cfg Config) (*Cache, error) {
 	if 1<<lineBits != cfg.LineBytes {
 		return nil, fmt.Errorf("cache: line size %d is not a power of two", cfg.LineBytes)
 	}
-	c := &Cache{cfg: cfg, setMask: uint64(nSets - 1), lineBits: lineBits}
-	c.sets = make([][]line, nSets)
-	backing := make([]line, nSets*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
+	c := &Cache{cfg: cfg, ways: cfg.Ways, setMask: uint64(nSets - 1), lineBits: lineBits}
+	c.tags = make([]uint64, nSets*cfg.Ways)
+	c.lru = make([]uint64, nSets*cfg.Ways)
 	return c, nil
 }
 
@@ -74,42 +77,46 @@ func New(cfg Config) (*Cache, error) {
 func (c *Cache) Config() Config { return c.cfg }
 
 // Access looks up addr, filling the line on a miss, and reports whether it
-// hit. The hit scan does no victim bookkeeping — the timing model calls
-// this for every fetched instruction, and hits dominate — so the victim is
-// chosen by a second pass only on a miss (same selection as a single
-// combined pass, since a hit returns before any replacement happens).
+// hit. The hit scan compares one packed word per way — valid bit and tag
+// together — and does no victim bookkeeping; the victim is chosen by a
+// second pass only on a miss (same selection as a single combined pass,
+// since a hit returns before any replacement happens). Replacement
+// decisions, and therefore hit and miss counts, are bit-for-bit those of
+// the unpacked struct-per-line layout this replaced.
 func (c *Cache) Access(addr uint64) bool {
 	c.clock++
 	block := addr >> c.lineBits
-	set := c.sets[block&c.setMask]
-	tag := block >> 1 // keep set bits out of the tag; harmless overlap otherwise
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			set[i].lru = c.clock
+	base := int(block&c.setMask) * c.ways
+	tags := c.tags[base : base+c.ways]
+	// Keep set bits out of the tag (harmless overlap otherwise); the
+	// shifted block stays below validBit for any address under 2^63.
+	tag := block>>1 | validBit
+	for i := range tags {
+		if tags[i] == tag {
+			c.lru[base+i] = c.clock
 			c.Hits++
 			return true
 		}
 	}
+	lru := c.lru[base : base+c.ways]
 	victim := 0
-	for i := range set {
-		if !set[i].valid {
+	for i := range tags {
+		if tags[i]&validBit == 0 {
 			victim = i
-		} else if set[victim].valid && set[i].lru < set[victim].lru {
+		} else if tags[victim]&validBit != 0 && lru[i] < lru[victim] {
 			victim = i
 		}
 	}
-	set[victim] = line{valid: true, tag: tag, lru: c.clock}
+	tags[victim] = tag
+	lru[victim] = c.clock
 	c.Misses++
 	return false
 }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			c.sets[s][i] = line{}
-		}
-	}
+	clear(c.tags)
+	clear(c.lru)
 	c.clock = 0
 	c.Hits = 0
 	c.Misses = 0

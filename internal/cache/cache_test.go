@@ -1,9 +1,109 @@
 package cache
 
 import (
+	"math/rand"
 	"testing"
 	"testing/quick"
 )
+
+// refCache is the unpacked struct-per-line model the packed tag+valid
+// layout replaced, kept verbatim as the reference for the equivalence
+// test below: same LRU bookkeeping, same two-pass victim selection.
+type refCache struct {
+	sets     [][]refLine
+	setMask  uint64
+	lineBits uint
+	clock    uint64
+	hits     uint64
+	misses   uint64
+}
+
+type refLine struct {
+	valid bool
+	tag   uint64
+	lru   uint64
+}
+
+func newRefCache(cfg Config) *refCache {
+	nSets := cfg.SizeBytes / cfg.LineBytes / cfg.Ways
+	lineBits := uint(0)
+	for 1<<lineBits < cfg.LineBytes {
+		lineBits++
+	}
+	c := &refCache{setMask: uint64(nSets - 1), lineBits: lineBits}
+	c.sets = make([][]refLine, nSets)
+	for i := range c.sets {
+		c.sets[i] = make([]refLine, cfg.Ways)
+	}
+	return c
+}
+
+func (c *refCache) access(addr uint64) bool {
+	c.clock++
+	block := addr >> c.lineBits
+	set := c.sets[block&c.setMask]
+	tag := block >> 1
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			c.hits++
+			return true
+		}
+	}
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+		} else if set[victim].valid && set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	set[victim] = refLine{valid: true, tag: tag, lru: c.clock}
+	c.misses++
+	return false
+}
+
+// TestPackedMatchesReference drives the packed implementation and the
+// unpacked reference over the same address streams and requires
+// identical per-access outcomes and identical running hit/miss counters
+// — the "byte-identical miss counts" bar the packed fast path must meet.
+func TestPackedMatchesReference(t *testing.T) {
+	for _, cfg := range []Config{
+		{SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 1},
+		{SizeBytes: 4096, LineBytes: 64, Ways: 4, HitLatency: 1},
+		L1I32K(), L1D32K(),
+	} {
+		c, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := newRefCache(cfg)
+		r := rand.New(rand.NewSource(42))
+		// A mix of tight reuse (hits), strided conflicts (evictions) and
+		// cold addresses (fills), biased so every path runs often.
+		for i := 0; i < 200_000; i++ {
+			var addr uint64
+			switch r.Intn(3) {
+			case 0:
+				addr = uint64(r.Intn(2 * cfg.SizeBytes))
+			case 1:
+				addr = uint64(r.Intn(64)) * uint64(cfg.SizeBytes/cfg.Ways)
+			default:
+				addr = r.Uint64() >> r.Intn(40)
+			}
+			if got, want := c.Access(addr), ref.access(addr); got != want {
+				t.Fatalf("%+v: access %d addr %#x: packed hit=%v, reference hit=%v", cfg, i, addr, got, want)
+			}
+			if c.Hits != ref.hits || c.Misses != ref.misses {
+				t.Fatalf("%+v: access %d: counters diverged: packed %d/%d, reference %d/%d",
+					cfg, i, c.Hits, c.Misses, ref.hits, ref.misses)
+			}
+		}
+		if c.Misses == 0 || c.Hits == 0 {
+			t.Fatalf("%+v: degenerate stream (hits %d, misses %d)", cfg, c.Hits, c.Misses)
+		}
+	}
+}
 
 func TestBasicHitMiss(t *testing.T) {
 	c, err := New(Config{SizeBytes: 1024, LineBytes: 64, Ways: 2, HitLatency: 3})

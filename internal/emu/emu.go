@@ -2,7 +2,9 @@
 // programs instruction by instruction, drives the PBS unit (internal/core)
 // with branch/call/return events and probabilistic branch groups, applies
 // the value swaps PBS mandates, and streams a dynamic-instruction trace to
-// an optional consumer (the timing model) in batches.
+// an optional consumer (the timing model) in batches — synchronously on
+// the emulating goroutine (TraceSink), or through a bounded ring of owned
+// batch buffers to a concurrent consumer (TraceRing, see internal/trace).
 //
 // The dispatch loop runs over a predecoded execution plan (internal/plan):
 // immediates are sign-extended, LDC constants resolved, branch targets
@@ -70,19 +72,34 @@ type DynInstr struct {
 type Listener func(DynInstr)
 
 // TraceSink receives the retired-instruction trace in program order as
-// batches. The batch slice is a reusable buffer owned by the CPU: it is
-// valid only for the duration of the ConsumeTrace call, and a sink that
-// needs the data afterwards must copy it. Batches are delivered when the
-// internal ring fills, when CPU.Run returns for any reason (halt,
-// instruction budget, fault), and on FlushTrace.
+// batches. Batch buffers are reused, never copied: with a sink installed
+// directly (SetTraceSink) the batch is valid only for the duration of
+// the ConsumeTrace call; with a TraceRing between emulator and sink
+// (SetTraceRing) the batch is valid until its buffer is recycled to the
+// ring — which the ring's consumer loop does right after ConsumeTrace
+// returns. Either way, a sink that needs the data beyond its own return
+// must copy it. Batches are delivered when the current buffer fills,
+// when CPU.Run returns for any reason (halt, instruction budget, fault),
+// and on FlushTrace.
 type TraceSink interface {
 	ConsumeTrace(batch []DynInstr)
 }
 
-// traceBatch is the trace ring capacity. DynInstr is 24 bytes, so the
-// ring stays small enough to live in L1 while amortizing the interface
-// call to nothing.
-const traceBatch = 256
+// TraceRing carries filled trace batches to an asynchronous consumer
+// and recycles empty buffers back (see internal/trace.Ring). Exchange
+// delivers the filled batch and returns the next buffer for the CPU to
+// fill, blocking while every ring buffer is in flight (backpressure); a
+// nil argument is the initial buffer request. The CPU owns exactly the
+// buffer Exchange last returned; delivered batches belong to the ring
+// until recycled.
+type TraceRing interface {
+	Exchange(filled []DynInstr) []DynInstr
+}
+
+// TraceBatch is the capacity of one trace batch buffer. DynInstr is 24
+// bytes, so a batch stays small enough to live in L1 while amortizing
+// the delivery cost per instruction to nothing.
+const TraceBatch = 256
 
 // Fault is a runtime error raised by the emulated program.
 type Fault struct {
@@ -141,8 +158,13 @@ type CPU struct {
 
 	listener Listener
 	sink     TraceSink
-	fill     int
-	ring     [traceBatch]DynInstr
+	ring     TraceRing
+	// buf is the current batch buffer (ring-owned when ring != nil, the
+	// inline bufArr when a sink consumes synchronously); non-nil exactly
+	// when a sink or ring is installed, so it doubles as the Step hot
+	// path's single "tracing?" predicate.
+	buf    []DynInstr
+	bufArr [TraceBatch]DynInstr
 
 	group probGroup
 
@@ -180,33 +202,69 @@ func New(prog *isa.Program, r *rng.Stream, pbs *core.Unit) (*CPU, error) {
 }
 
 // SetListener installs a per-instruction trace listener, called
-// synchronously from every Step. Clears any installed TraceSink,
-// flushing instructions it had buffered first so no trace entry is lost
-// across the switch.
+// synchronously from every Step. Clears any installed TraceSink or
+// TraceRing, flushing instructions buffered for it first so no trace
+// entry is lost across the switch.
 func (c *CPU) SetListener(l Listener) {
 	c.FlushTrace()
 	c.listener = l
 	c.sink = nil
+	c.ring = nil
+	c.buf = nil
 }
 
-// SetTraceSink installs the batched trace consumer (the fast path the
-// timing model uses). Clears any installed Listener; entries buffered
-// for a previously installed sink are flushed to it first.
+// SetTraceSink installs the batched trace consumer, called synchronously
+// from the emulating goroutine whenever a batch fills. Clears any
+// installed Listener or TraceRing; entries buffered for a previous trace
+// destination are flushed to it first.
 func (c *CPU) SetTraceSink(s TraceSink) {
 	c.FlushTrace()
 	c.sink = s
 	c.listener = nil
+	c.ring = nil
+	if s == nil {
+		c.buf = nil
+	} else {
+		c.buf = c.bufArr[:0]
+	}
+}
+
+// SetTraceRing routes the trace through a ring of owned batch buffers to
+// an asynchronous consumer (the fast path sim.Session uses): the CPU
+// fills buffers the ring hands it and exchanges each full one for an
+// empty, so emulation overlaps trace consumption with zero copying.
+// Clears any installed Listener or TraceSink after flushing to it. The
+// ring's consumer must be running whenever the CPU executes, or the
+// exchange backpressure would block forever.
+func (c *CPU) SetTraceRing(r TraceRing) {
+	c.FlushTrace()
+	c.ring = r
+	c.sink = nil
+	c.listener = nil
+	if r != nil {
+		c.buf = r.Exchange(nil)[:0]
+	} else {
+		c.buf = nil
+	}
 }
 
 // FlushTrace delivers any buffered retired instructions to the trace
-// sink. Run flushes automatically before returning; only callers that
-// drive Step directly need to flush by hand before reading sink state.
+// sink or ring. Run flushes automatically before returning; only callers
+// that drive Step directly need to flush by hand before reading
+// sink-side state (with a ring, "delivered" means queued — rendezvous
+// with the consumer is the ring's business, see internal/trace).
 func (c *CPU) FlushTrace() {
-	if c.fill > 0 {
-		if c.sink != nil {
-			c.sink.ConsumeTrace(c.ring[:c.fill])
-		}
-		c.fill = 0
+	if len(c.buf) == 0 {
+		return
+	}
+	switch {
+	case c.ring != nil:
+		c.buf = c.ring.Exchange(c.buf)[:0]
+	case c.sink != nil:
+		c.sink.ConsumeTrace(c.buf)
+		c.buf = c.buf[:0]
+	default:
+		c.buf = c.buf[:0]
 	}
 }
 
@@ -575,12 +633,10 @@ func (c *CPU) Step() error {
 
 	c.pc = next
 	c.stats.Instructions++
-	if c.sink != nil {
-		c.ring[c.fill] = di
-		c.fill++
-		if c.fill == traceBatch {
-			c.sink.ConsumeTrace(c.ring[:traceBatch])
-			c.fill = 0
+	if c.buf != nil {
+		c.buf = append(c.buf, di)
+		if len(c.buf) == cap(c.buf) {
+			c.FlushTrace()
 		}
 	} else if c.listener != nil {
 		c.listener(di)

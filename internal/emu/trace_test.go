@@ -57,8 +57,11 @@ func TestOutputReturnsCopy(t *testing.T) {
 	}
 }
 
-// recordingSink copies every delivered batch (the batch buffer itself is
-// reused by the CPU, per the TraceSink contract).
+// recordingSink copies every delivered batch out of its buffer before
+// returning. Per the TraceSink contract the buffer is reused — the CPU
+// refills it after ConsumeTrace returns when installed directly, or
+// after the ring recycles it when delivery goes through a TraceRing — so
+// a sink keeping trace data beyond its own return must copy, as here.
 type recordingSink struct {
 	trace   []DynInstr
 	batches int
@@ -125,8 +128,8 @@ func TestTraceSinkMatchesListener(t *testing.T) {
 	if sink.batches < 2 {
 		t.Fatalf("expected multiple batch deliveries, got %d", sink.batches)
 	}
-	if sink.maxLen > traceBatch {
-		t.Fatalf("batch of %d exceeds ring capacity %d", sink.maxLen, traceBatch)
+	if sink.maxLen > TraceBatch {
+		t.Fatalf("batch of %d exceeds batch capacity %d", sink.maxLen, TraceBatch)
 	}
 }
 

@@ -274,6 +274,22 @@ type Pipeline struct {
 	feDepth   uint64
 	misPen    uint64
 	l1iHitLat int
+	l1dHitLat int
+	l2HitLat  int
+
+	// latTiered: the hierarchy's latencies are strictly increasing
+	// (L1 hit < L2 hit < memory), so a returned latency identifies the
+	// level that served the access and the per-level miss counters can
+	// be derived from it instead of sampled around every access. Any
+	// degenerate configuration falls back to counter deltas.
+	latTiered bool
+
+	// L1I fetch-streak state: consecutive fetches from the line of the
+	// previous fetch bypass the cache model (see retire). iblockShift
+	// maps an instruction index to its line number; lastIBlock starts at
+	// a value no real fetch produces.
+	iblockShift uint
+	lastIBlock  uint64
 
 	// functional units: backfill scheduler
 	fus fuSched
@@ -313,6 +329,18 @@ func New(cfg Config, prog *isa.Program, pred branch.Predictor) (*Pipeline, error
 		feDepth:    uint64(cfg.FrontendDepth),
 		misPen:     uint64(cfg.MispredictPenalty),
 		l1iHitLat:  cfg.L1I.HitLatency,
+		l1dHitLat:  cfg.L1D.HitLatency,
+		l2HitLat:   cfg.L2.HitLatency,
+		lastIBlock: ^uint64(0),
+	}
+	p.latTiered = cfg.L1I.HitLatency < cfg.L2.HitLatency &&
+		cfg.L1D.HitLatency < cfg.L2.HitLatency &&
+		cfg.L2.HitLatency < cfg.MemLatency
+	// Instructions are 8 bytes, so PC>>(log2(LineBytes)-3) is the fetch
+	// line number (line sizes below 8 bytes degrade to per-PC streaks,
+	// which are still sound: the same PC fetches the same line).
+	for lb := cfg.L1I.LineBytes; lb > 8; lb >>= 1 {
+		p.iblockShift++
 	}
 	p.fus.units[plan.FUALU] = uint8(cfg.IntALUs)
 	p.fus.units[plan.FUMul] = 1
@@ -361,16 +389,40 @@ func (p *Pipeline) retire(di *emu.DynInstr) {
 			p.fetchedInCycle = 0
 		}
 	}
-	// Instruction cache.
+	// Instruction cache. A fetch from the same line as the previous
+	// fetch bypasses the cache model: the line is resident (whatever
+	// filled it left it so, and no other instruction line has been
+	// touched since), so it is a hit with no stall. The bypass keeps
+	// miss counts byte-identical to touching the cache every fetch —
+	// within a streak no other line is accessed, so the skipped LRU
+	// updates cannot reorder any set — and straight-line code makes the
+	// streak the common case (one Access per line instead of per
+	// instruction).
 	p.m.L1IAccesses++
-	l1iMissBefore := p.hier.L1I.Misses
-	l2MissBefore := p.hier.L2.Misses
-	if lat := p.hier.InstrLatency(uint64(di.PC) * 8); lat > p.l1iHitLat {
-		fc += uint64(lat)
-		p.fetchedInCycle = 0
+	if iblock := uint64(di.PC) >> p.iblockShift; iblock != p.lastIBlock {
+		p.lastIBlock = iblock
+		if p.latTiered {
+			if lat := p.hier.InstrLatency(uint64(di.PC) * 8); lat > p.l1iHitLat {
+				p.m.L1IMisses++
+				if lat > p.l2HitLat {
+					p.m.L2Misses++
+				}
+				fc += uint64(lat)
+				p.fetchedInCycle = 0
+			}
+		} else {
+			l1iMissBefore := p.hier.L1I.Misses
+			l2MissBefore := p.hier.L2.Misses
+			if lat := p.hier.InstrLatency(uint64(di.PC) * 8); lat > p.l1iHitLat {
+				fc += uint64(lat)
+				p.fetchedInCycle = 0
+			}
+			p.m.L1IMisses += p.hier.L1I.Misses - l1iMissBefore
+			p.m.L2Misses += p.hier.L2.Misses - l2MissBefore
+		}
+	} else {
+		p.hier.L1I.Hits++ // keep the cache's own counters consistent
 	}
-	p.m.L1IMisses += p.hier.L1I.Misses - l1iMissBefore
-	p.m.L2Misses += p.hier.L2.Misses - l2MissBefore
 	if fc > p.curFetchCycle {
 		p.curFetchCycle = fc
 	}
@@ -387,12 +439,23 @@ func (p *Pipeline) retire(di *emu.DynInstr) {
 	issue = p.fus.schedule(d.FU, issue, uint64(d.Occ))
 
 	if d.Flags&(plan.FLoad|plan.FStore) != 0 {
-		l1dMissBefore := p.hier.L1D.Misses
-		l2MissBefore := p.hier.L2.Misses
-		dlat := p.hier.DataLatency(di.MemAddr)
 		p.m.L1DAccesses++
-		p.m.L1DMisses += p.hier.L1D.Misses - l1dMissBefore
-		p.m.L2Misses += p.hier.L2.Misses - l2MissBefore
+		var dlat int
+		if p.latTiered {
+			dlat = p.hier.DataLatency(di.MemAddr)
+			if dlat > p.l1dHitLat {
+				p.m.L1DMisses++
+				if dlat > p.l2HitLat {
+					p.m.L2Misses++
+				}
+			}
+		} else {
+			l1dMissBefore := p.hier.L1D.Misses
+			l2MissBefore := p.hier.L2.Misses
+			dlat = p.hier.DataLatency(di.MemAddr)
+			p.m.L1DMisses += p.hier.L1D.Misses - l1dMissBefore
+			p.m.L2Misses += p.hier.L2.Misses - l2MissBefore
+		}
 		if d.Flags&plan.FLoad != 0 {
 			lat = uint64(dlat)
 		}
@@ -423,9 +486,9 @@ func (p *Pipeline) retire(di *emu.DynInstr) {
 	p.commitRing[p.commitPos] = cc
 	p.robRing[p.robPos] = cc
 	p.lastCommit = cc
-	if cc > p.m.Cycles {
-		p.m.Cycles = cc
-	}
+	// cc is clamped to at least the previous commit cycle above, so the
+	// running cycle count is simply the latest commit.
+	p.m.Cycles = cc
 	p.idx++
 	if p.commitPos++; p.commitPos == p.cfg.Width {
 		p.commitPos = 0

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workloads"
+)
+
+// asyncOpts forces the asynchronous trace pipeline regardless of
+// GOMAXPROCS (the default degrades to synchronous delivery on a
+// single-CPU process, where overlap is impossible).
+func asyncOpts(ring int, opts ...Option) []Option {
+	return append(opts, WithTraceRing(ring))
+}
+
+// TestAsyncMatchesSyncMetrics: the asynchronous trace pipeline must be
+// invisible in the numbers — full sim.Metrics equality against the
+// synchronous path at every observer boundary and at the end, for
+// chunked RunFor execution, across PBS on/off and ring depths that force
+// heavy backpressure.
+func TestAsyncMatchesSyncMetrics(t *testing.T) {
+	for _, pbs := range []bool{false, true} {
+		// Synchronous reference, observed every 40k instructions.
+		var refSamples []Snapshot
+		ref, err := New("PI", WithSeed(7), WithPBS(pbs), WithMaxInstrs(200_000), WithSyncTiming())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Observe(40_000, func(s Snapshot) { refSamples = append(refSamples, s) }); err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.Run(); err != nil {
+			t.Fatal(err)
+		}
+		refFinal := ref.Snapshot()
+		refRes := ref.Result()
+
+		for _, ring := range []int{1, 2, 8} {
+			var samples []Snapshot
+			s, err := New("PI", asyncOpts(ring, WithSeed(7), WithPBS(pbs), WithMaxInstrs(200_000))...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Observe(40_000, func(snap Snapshot) { samples = append(samples, snap) }); err != nil {
+				t.Fatal(err)
+			}
+			// Chunk sizes misaligned with both the observer interval and
+			// the batch size, so drains land mid-batch.
+			for {
+				done, err := s.RunFor(17_001)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if done {
+					break
+				}
+			}
+			if len(samples) != len(refSamples) {
+				t.Fatalf("pbs=%v ring=%d: %d samples, sync saw %d", pbs, ring, len(samples), len(refSamples))
+			}
+			for i := range samples {
+				if samples[i] != refSamples[i] {
+					t.Errorf("pbs=%v ring=%d: sample %d diverged:\nasync %+v\n sync %+v",
+						pbs, ring, i, samples[i], refSamples[i])
+				}
+			}
+			if got := s.Snapshot(); got != refFinal {
+				t.Errorf("pbs=%v ring=%d: final snapshot diverged", pbs, ring)
+			}
+			res := s.Result()
+			if res.Timing != refRes.Timing || res.Emu != refRes.Emu || res.PBSStats != refRes.PBSStats {
+				t.Errorf("pbs=%v ring=%d: result stats diverged", pbs, ring)
+			}
+			if hashU64(res.Outputs) != hashU64(refRes.Outputs) {
+				t.Errorf("pbs=%v ring=%d: outputs diverged", pbs, ring)
+			}
+		}
+	}
+}
+
+// TestAsyncBackpressureStress: many concurrent sessions on 1- and 2-deep
+// rings — constant producer/consumer blocking — advanced in chunks with
+// observers attached. Run under -race in CI, this is the async
+// concurrency contract: batch hand-off, drain barriers and consumer
+// join must be clean at any interleaving.
+func TestAsyncBackpressureStress(t *testing.T) {
+	prog, err := BuildProgram("PI", workloads.Params{}, workloads.VariantPlain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Run(Config{Workload: "PI", Seed: 2, PBS: true, MaxInstrs: 90_000, Program: prog, SyncTiming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		ring := 1 + g%2
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := New("PI", asyncOpts(ring,
+				WithProgram(prog), WithSeed(2), WithPBS(true), WithMaxInstrs(90_000))...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			fired := 0
+			if err := s.Observe(25_000, func(Snapshot) { fired++ }); err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				done, err := s.RunFor(7_919)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if done {
+					break
+				}
+			}
+			if fired != 3 {
+				t.Errorf("observer fired %d times, want 3", fired)
+			}
+			if s.Result().Timing != ref.Timing {
+				t.Error("stressed async session diverged from sync reference")
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAsyncNestedAdvance: an Observe callback may itself step the
+// session (a nested RunFor reuses the live consumer and rendezvous on
+// exit), and everything it can read afterwards — snapshots included —
+// must match the synchronous path exactly.
+func TestAsyncNestedAdvance(t *testing.T) {
+	run := func(opts ...Option) []Snapshot {
+		s, err := New("PI", append(opts, WithSeed(11), WithPBS(true), WithMaxInstrs(150_000))...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var recs []Snapshot
+		nested := false
+		if err := s.Observe(30_000, func(Snapshot) {
+			if nested {
+				return
+			}
+			nested = true
+			if _, err := s.RunFor(5_000); err != nil {
+				t.Error(err)
+				return
+			}
+			recs = append(recs, s.Snapshot())
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		recs = append(recs, s.Snapshot())
+		return recs
+	}
+	sync := run(WithSyncTiming())
+	async := run(WithTraceRing(1))
+	if len(sync) != len(async) {
+		t.Fatalf("nested runs recorded %d vs %d snapshots", len(async), len(sync))
+	}
+	for i := range sync {
+		if sync[i] != async[i] {
+			t.Errorf("nested snapshot %d diverged:\nasync %+v\n sync %+v", i, async[i], sync[i])
+		}
+	}
+}
+
+// TestAsyncSteadyStateAllocs pins the allocation freedom of the async
+// steady state: once warm, advancing a session allocates only the
+// consumer goroutine's bookkeeping — no per-batch or per-instruction
+// allocations on either side of the ring (the ring reuses its buffers,
+// the drain barrier reuses its acknowledgement channel, and the retire
+// path is allocation-free as ever).
+func TestAsyncSteadyStateAllocs(t *testing.T) {
+	s, err := New("PI", asyncOpts(2, WithSeed(5), WithPBS(true))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFor(100_000); err != nil { // warm up pools and output buffers
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(20, func() {
+		if _, err := s.RunFor(20_000); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// ~78 batches cross the ring per run; a leak of even one allocation
+	// per batch would blow far past this bound, which only tolerates the
+	// occasional goroutine-spawn or output-append amortization.
+	if avg > 8 {
+		t.Fatalf("async advance allocates %.1f times per 20k-instruction chunk", avg)
+	}
+}

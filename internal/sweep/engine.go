@@ -29,6 +29,11 @@ type Engine struct {
 	// number of completed points and the total. Calls may arrive
 	// concurrently from several workers.
 	OnProgress func(done, total int)
+	// SyncTiming forces every session the engine runs onto the
+	// synchronous timing path, regardless of the goroutine budget (see
+	// RunPoints). Results are identical either way; this is the
+	// scheduling escape hatch cmd/pbsweep -sync-timing sets.
+	SyncTiming bool
 }
 
 // NewEngine returns an engine with program and result caching enabled.
@@ -148,7 +153,7 @@ func (e *Engine) Run(ctx context.Context, g Grid) (Results, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.RunPoints(ctx, pts, g.Parallel)
+	return e.runPoints(ctx, pts, g.Parallel, g.SyncTiming)
 }
 
 // RunPoints executes the points with at most parallel concurrent
@@ -159,8 +164,13 @@ func (e *Engine) Run(ctx context.Context, g Grid) (Results, error) {
 // into an Aggregate in seed order. The first error aborts the sweep: no
 // further jobs are dispatched, and the error is returned once in-flight
 // jobs drain. Results are positionally deterministic — the same points
-// produce the same results at any parallelism.
+// produce the same results at any parallelism, with timing consumed
+// synchronously or asynchronously per the goroutine budget below.
 func (e *Engine) RunPoints(ctx context.Context, pts []Point, parallel int) (Results, error) {
+	return e.runPoints(ctx, pts, parallel, e.SyncTiming)
+}
+
+func (e *Engine) runPoints(ctx context.Context, pts []Point, parallel int, syncTiming bool) (Results, error) {
 	if len(pts) == 0 {
 		return nil, ctx.Err()
 	}
@@ -209,6 +219,15 @@ func (e *Engine) RunPoints(ctx context.Context, pts []Point, parallel int) (Resu
 	if parallel > len(jobList) {
 		parallel = len(jobList)
 	}
+	// Goroutine budget: an async-timing session runs two goroutines
+	// (emulator + timing consumer), so the sweep's total is capped at
+	// GOMAXPROCS — a pool that already saturates every core runs its
+	// points synchronously (async could only add hand-off thrash), while
+	// a small pool (say, one aggregate point's three seed shards on a
+	// wide machine) keeps the async overlap and still fits the budget.
+	if !syncTiming && 2*parallel > runtime.GOMAXPROCS(0) {
+		syncTiming = true
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -241,7 +260,7 @@ func (e *Engine) RunPoints(ctx context.Context, pts []Point, parallel int) (Resu
 				if jb.shard >= 0 {
 					p = p.Shard(seedsOf[jb.point][jb.shard])
 				}
-				res, err := e.runPoint(p)
+				res, err := e.runPoint(p, syncTiming)
 				if err != nil {
 					// No "sweep:" prefix: the wrapped error carries its
 					// package prefix already.
@@ -298,8 +317,10 @@ dispatch:
 
 // runPoint executes one point through a sim.Session, consulting the
 // caches. Cached programs are shared read-only across the concurrently
-// running sessions of the worker pool.
-func (e *Engine) runPoint(p Point) (*sim.Result, error) {
+// running sessions of the worker pool. syncTiming is a pure scheduling
+// knob — results (and therefore memo entries) are identical either way,
+// so it stays out of the point's identity.
+func (e *Engine) runPoint(p Point, syncTiming bool) (*sim.Result, error) {
 	p = p.normalize()
 	memoize := e.Results != nil && !p.CaptureProb
 	if memoize {
@@ -310,6 +331,9 @@ func (e *Engine) runPoint(p Point) (*sim.Result, error) {
 	opts, err := p.Options()
 	if err != nil {
 		return nil, err
+	}
+	if syncTiming {
+		opts = append(opts, sim.WithSyncTiming())
 	}
 	if e.Programs != nil {
 		prog, err := e.Programs.Get(p.Workload, p.Scale, p.Variant)

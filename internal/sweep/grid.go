@@ -54,6 +54,11 @@ type Grid struct {
 	MaxInstrs uint64 `json:"max_instrs,omitempty"`
 	// Parallel bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallel int `json:"parallel,omitempty"`
+	// SyncTiming forces every point onto the synchronous timing path.
+	// Like Parallel, it is an execution knob, not a point axis: results
+	// are identical either way. By default the engine decides per sweep
+	// from its goroutine budget (see Engine.RunPoints).
+	SyncTiming bool `json:"sync_timing,omitempty"`
 	// ShardSeeds collapses the Seeds axis: instead of one grid point per
 	// seed, each coordinate becomes a single aggregate point carrying the
 	// whole seed set, which the engine fans out into per-seed shard jobs
@@ -190,7 +195,10 @@ func (p Point) Options() ([]sim.Option, error) {
 	if p.Sharded() {
 		return nil, fmt.Errorf("sweep: aggregate point %s cannot run directly (the engine shards it per seed)", p)
 	}
-	opts := []sim.Option{
+	// Spare capacity for the options the engine appends (program,
+	// sync-timing) so a hot sweep loop never regrows the slice.
+	opts := make([]sim.Option, 0, 12)
+	opts = append(opts,
 		sim.WithScale(p.Scale),
 		sim.WithSeed(p.Seed),
 		sim.WithPredictor(p.Predictor),
@@ -199,7 +207,7 @@ func (p Point) Options() ([]sim.Option, error) {
 		sim.WithFilterProb(p.FilterProb),
 		sim.WithCaptureProb(p.CaptureProb),
 		sim.WithMaxInstrs(p.MaxInstrs),
-	}
+	)
 	if p.SkipTiming {
 		opts = append(opts, sim.WithoutTiming())
 	}
