@@ -3,11 +3,19 @@
 // -sample N it prints an interval snapshot of the live machine every N
 // retired instructions (IPC, MPKI and steering time-series).
 //
+// A run can be checkpointed and resumed: -checkpoint-out saves the
+// complete machine state (at -checkpoint-at instructions, or at the end
+// of the run), and -resume continues from such a file with the exact
+// configuration and state the checkpoint captured — an interrupted run
+// resumed this way prints metrics identical to an uninterrupted one.
+//
 // Usage:
 //
 //	pbsim -workload PI -predictor tage-sc-l -pbs -seed 7 -scale 2 -wide 8
 //	pbsim -workload PI -pbs -sample 500000
 //	pbsim -workload PI -predictor always-taken
+//	pbsim -workload PI -pbs -checkpoint-out pi.ckpt -checkpoint-at 1000000
+//	pbsim -resume pi.ckpt
 package main
 
 import (
@@ -35,6 +43,9 @@ func main() {
 		filter    = flag.Bool("filter-prob", false, "exclude probabilistic branches from the predictor (Fig 9 experiment)")
 		syncT     = flag.Bool("sync-timing", false, "run the timing model synchronously on the emulating goroutine (escape hatch; by default it consumes the trace on its own goroutine when more than one CPU is available)")
 		sample    = flag.Uint64("sample", 0, "print an interval snapshot every N retired instructions (0 = off)")
+		ckptOut   = flag.String("checkpoint-out", "", "write a machine checkpoint to this file")
+		ckptAt    = flag.Uint64("checkpoint-at", 0, "take the -checkpoint-out checkpoint once N instructions have retired (0 = at the end of the run)")
+		resume    = flag.String("resume", "", "resume from a checkpoint file; the machine configuration comes from the checkpoint, so only scheduling and output flags apply")
 		list      = flag.Bool("list", false, "list benchmarks and predictors, then exit")
 		dump      = flag.Bool("dump", false, "print the program disassembly and exit")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -94,9 +105,48 @@ func main() {
 		return
 	}
 
-	s, err := sim.New(*workload, opts...)
-	if err != nil {
-		fail(err)
+	if *ckptAt > 0 && *ckptOut == "" {
+		fmt.Fprintln(os.Stderr, "pbsim: -checkpoint-at needs -checkpoint-out")
+		os.Exit(2)
+	}
+
+	// Display fields default to the flags; a resumed run reports the
+	// checkpoint's embedded configuration instead.
+	showPBS, showPred, showWide := *pbs, *predictor, *wide
+
+	var s *sim.Session
+	if *resume != "" {
+		data, err := os.ReadFile(*resume)
+		if err != nil {
+			fail(err)
+		}
+		ck, err := sim.LoadCheckpoint(data)
+		if err != nil {
+			fail(err)
+		}
+		var ropts []sim.Option
+		if *syncT {
+			ropts = append(ropts, sim.WithSyncTiming())
+		}
+		s, err = sim.Resume(ck, ropts...)
+		if err != nil {
+			fail(err)
+		}
+		cfg := ck.Config()
+		showPBS = cfg.PBS
+		showPred = string(cfg.Predictor)
+		if showPred == "" {
+			showPred = string(sim.PredTAGESCL)
+		}
+		showWide = 4
+		if cfg.Core != nil {
+			showWide = cfg.Core.Width
+		}
+	} else {
+		s, err = sim.New(*workload, opts...)
+		if err != nil {
+			fail(err)
+		}
 	}
 	if *sample > 0 {
 		fmt.Printf("%12s  %7s  %7s  %7s  %7s  %8s\n",
@@ -111,13 +161,27 @@ func main() {
 			fail(err)
 		}
 	}
+	if *ckptOut != "" && *ckptAt > 0 && s.Instructions() < *ckptAt {
+		// Stop exactly at the requested boundary, checkpoint, continue.
+		if _, err := s.RunFor(*ckptAt - s.Instructions()); err != nil {
+			fail(err)
+		}
+		if err := writeCheckpoint(s, *ckptOut); err != nil {
+			fail(err)
+		}
+	}
 	if err := s.Run(); err != nil {
 		fail(err)
+	}
+	if *ckptOut != "" && *ckptAt == 0 {
+		if err := writeCheckpoint(s, *ckptOut); err != nil {
+			fail(err)
+		}
 	}
 	res := s.Result()
 
 	m := res.Timing
-	fmt.Printf("workload      %s (PBS %v, %s predictor, %d-wide)\n", res.Workload, *pbs, *predictor, *wide)
+	fmt.Printf("workload      %s (PBS %v, %s predictor, %d-wide)\n", res.Workload, showPBS, showPred, showWide)
 	fmt.Printf("instructions  %d\n", m.Instructions)
 	fmt.Printf("cycles        %d\n", m.Cycles)
 	fmt.Printf("IPC           %.3f\n", m.IPC())
@@ -125,7 +189,7 @@ func main() {
 	fmt.Printf("mispredicts   %d (MPKI %.2f; prob %.2f, regular %.2f)\n",
 		m.Mispredicts, m.MPKI(), m.MPKIProb(), m.MPKIReg())
 	fmt.Printf("PBS           steered %d, bootstrap %d, regular %d\n", m.ProbSteered, m.ProbBoot, m.ProbRegular)
-	if *pbs {
+	if showPBS {
 		s := res.PBSStats
 		fmt.Printf("PBS unit      alloc %d, clears %d, const-violations %d, capacity-misses %d\n",
 			s.Allocations, s.ContextClears, s.ConstViolations, s.CapacityMisses)
@@ -139,6 +203,15 @@ func main() {
 		}
 		fmt.Printf("  out[%d] = %g\n", i, math.Float64frombits(v))
 	}
+}
+
+// writeCheckpoint serializes the session's machine state to path.
+func writeCheckpoint(s *sim.Session, path string) error {
+	ck, err := s.Checkpoint()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, ck.Bytes(), 0o644)
 }
 
 // profStop finishes any active pprof profiles (idempotent; see

@@ -46,6 +46,7 @@ func main() {
 		variants  = flag.String("variants", "plain", "comma-separated program variants: plain | predicated | cfd (inapplicable combinations are skipped)")
 		shard     = flag.Bool("shard-seeds", false, "collapse the seed axis: run each coordinate as one aggregate point whose per-seed shards fan across the worker pool; output gains a mean/95%-CI aggregate row per point alongside the per-seed rows")
 		syncT     = flag.Bool("sync-timing", false, "force synchronous timing in every simulation (escape hatch; by default the engine overlaps emulation and timing per point only when the worker pool leaves cores idle)")
+		warm      = flag.Uint64("warm-prefix", 0, "fast-forward each point over its first N instructions via a functional checkpoint shared across points that differ only in timing axes; timing metrics then cover the post-prefix suffix (0 = run every point cold)")
 		scale     = flag.Int("scale", 1, "workload iteration scale")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		format    = flag.String("format", "json", "output format: json | csv")
@@ -81,7 +82,7 @@ func main() {
 	if *format != "json" && *format != "csv" {
 		fail(fmt.Errorf("unknown format %q (want json or csv)", *format))
 	}
-	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel, *shard, *syncT)
+	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel, *warm, *shard, *syncT)
 	if err != nil {
 		fail(err)
 	}
@@ -143,7 +144,7 @@ func main() {
 	}
 }
 
-func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int, shard, syncTiming bool) (sweep.Grid, error) {
+func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int, warmPrefix uint64, shard, syncTiming bool) (sweep.Grid, error) {
 	var g sweep.Grid
 	if spec != "" {
 		data, err := os.ReadFile(spec)
@@ -172,6 +173,11 @@ func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants strin
 		// synchronous path; the flag's default never un-sets the spec's.
 		if syncTiming {
 			g.SyncTiming = true
+		}
+		// -warm-prefix set on the command line wins over a spec
+		// "warm_prefix"; the flag's zero default leaves the spec's alone.
+		if warmPrefix != 0 {
+			g.WarmPrefix = warmPrefix
 		}
 		return g, nil
 	}
@@ -218,6 +224,7 @@ func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants strin
 	g.Parallel = parallel
 	g.ShardSeeds = shard
 	g.SyncTiming = syncTiming
+	g.WarmPrefix = warmPrefix
 	return g, nil
 }
 

@@ -1,0 +1,61 @@
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// CheckpointState serializes the cache contents and statistics: the
+// packed tag array, the LRU clocks, the global clock, and the hit/miss
+// counters. Geometry is configuration, rebuilt by New. Tags carry the
+// high valid bit, so they go as fixed words, not varints.
+func (c *Cache) CheckpointState(w *ckpt.Writer) error {
+	w.Uint64s(c.tags)
+	w.Uint64s(c.lru)
+	w.Uint(c.clock)
+	w.Uint(c.Hits)
+	w.Uint(c.Misses)
+	return nil
+}
+
+// RestoreState reads the field sequence written by CheckpointState into
+// a cache of the same geometry.
+func (c *Cache) RestoreState(r *ckpt.Reader) error {
+	tags := r.Uint64s()
+	lru := r.Uint64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(tags) != len(c.tags) || len(lru) != len(c.lru) {
+		return fmt.Errorf("cache: checkpoint has %d tag / %d lru words, cache has %d", len(tags), len(lru), len(c.tags))
+	}
+	copy(c.tags, tags)
+	copy(c.lru, lru)
+	c.clock = r.Uint()
+	c.Hits = r.Uint()
+	c.Misses = r.Uint()
+	return r.Err()
+}
+
+// CheckpointState serializes all three levels in fixed order.
+func (h *Hierarchy) CheckpointState(w *ckpt.Writer) error {
+	if err := h.L1I.CheckpointState(w); err != nil {
+		return err
+	}
+	if err := h.L1D.CheckpointState(w); err != nil {
+		return err
+	}
+	return h.L2.CheckpointState(w)
+}
+
+// RestoreState reads all three levels in fixed order.
+func (h *Hierarchy) RestoreState(r *ckpt.Reader) error {
+	if err := h.L1I.RestoreState(r); err != nil {
+		return err
+	}
+	if err := h.L1D.RestoreState(r); err != nil {
+		return err
+	}
+	return h.L2.RestoreState(r)
+}

@@ -301,7 +301,7 @@ func TestSaveRestoreState(t *testing.T) {
 	saved := u.SaveState()
 	// Drain the unit past the snapshot.
 	next := u.Resolve(Group{PC: 9, CmpVal: 3, Outcome: true, Vals: []uint64{100}})
-	u.RestoreState(saved)
+	u.RestoreSaved(saved)
 	replay := u.Resolve(Group{PC: 9, CmpVal: 3, Outcome: true, Vals: []uint64{100}})
 	if next.Taken != replay.Taken || next.Vals[0] != replay.Vals[0] || next.Mode != replay.Mode {
 		t.Errorf("restore did not reproduce the pre-snapshot behaviour: %+v vs %+v", next, replay)

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/ckpt"
+)
+
+// CheckpointState serializes the unit's mutable state: activity
+// counters, every Prob-BTB entry with its SwapTable values and
+// in-flight queue (in canonical key order — map iteration order must
+// not leak into the encoding), and the Context-Table. Configuration and
+// the allocation-recycling pools (handed, freeEntries, freeVals) are
+// not state: pools only affect storage reuse, never behavior.
+func (u *Unit) CheckpointState(w *ckpt.Writer) error {
+	w.Uint(u.stats.Resolutions)
+	w.Uint(u.stats.Steered)
+	w.Uint(u.stats.Bootstrap)
+	w.Uint(u.stats.Regular)
+	w.Uint(u.stats.ConstViolations)
+	w.Uint(u.stats.CapacityMisses)
+	w.Uint(u.stats.ValueOverflows)
+	w.Uint(u.stats.UntrackableCtx)
+	w.Uint(u.stats.Allocations)
+	w.Uint(u.stats.ContextClears)
+	w.Int(int64(u.stats.MaxLiveBranches))
+
+	keys := make([]btbKey, 0, len(u.entries))
+	for k := range u.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keyLess(keys[i], keys[j]) })
+	w.Uint(uint64(len(keys)))
+	for _, k := range keys {
+		e := u.entries[k]
+		w.Int(int64(k.pc))
+		w.Uint(uint64(k.loopBit))
+		w.Int(int64(k.funcPC))
+		w.Uint(e.gen)
+		w.U64(e.constVal)
+		w.Bool(e.constSet)
+		w.Uint(uint64(len(e.queue)))
+		for _, rec := range e.queue {
+			w.Bool(rec.taken)
+			w.Uint64s(rec.vals)
+		}
+	}
+
+	if u.ctx == nil {
+		w.Bool(false)
+		return nil
+	}
+	w.Bool(true)
+	t := u.ctx
+	w.Uint(uint64(len(t.loops)))
+	for i := range t.loops {
+		l := &t.loops[i]
+		w.Bool(l.valid)
+		w.Int(int64(l.loopPC))
+		w.Int(int64(l.lastPC))
+		w.Int(int64(l.funcPC))
+		w.Int(int64(l.counter))
+		w.Uint(l.gen)
+	}
+	w.Int(int64(t.active))
+	w.Uint(t.nextGen)
+	return nil
+}
+
+// RestoreState reads the field sequence written by CheckpointState into
+// a unit built with the same configuration. The table is rebuilt from
+// scratch and the recycling pools cleared, so restoring onto a used
+// unit is equivalent to restoring onto a fresh one.
+func (u *Unit) RestoreState(r *ckpt.Reader) error {
+	u.stats.Resolutions = r.Uint()
+	u.stats.Steered = r.Uint()
+	u.stats.Bootstrap = r.Uint()
+	u.stats.Regular = r.Uint()
+	u.stats.ConstViolations = r.Uint()
+	u.stats.CapacityMisses = r.Uint()
+	u.stats.ValueOverflows = r.Uint()
+	u.stats.UntrackableCtx = r.Uint()
+	u.stats.Allocations = r.Uint()
+	u.stats.ContextClears = r.Uint()
+	u.stats.MaxLiveBranches = int(r.Int())
+
+	u.entries = make(map[btbKey]*entry)
+	u.handed = nil
+	u.freeEntries = nil
+	u.freeVals = nil
+	nentries := r.Uint()
+	if r.Err() == nil && nentries > uint64(r.Len()) {
+		return fmt.Errorf("core: checkpoint claims %d table entries with %d bytes left", nentries, r.Len())
+	}
+	for i := uint64(0); i < nentries && r.Err() == nil; i++ {
+		k := btbKey{
+			pc:      int(r.Int()),
+			loopBit: uint8(r.Uint()),
+			funcPC:  int32(r.Int()),
+		}
+		e := &entry{
+			gen:      r.Uint(),
+			constVal: r.U64(),
+			constSet: r.Bool(),
+		}
+		nq := r.Uint()
+		if r.Err() == nil && nq > uint64(r.Len()) {
+			return fmt.Errorf("core: checkpoint entry claims %d queued records with %d bytes left", nq, r.Len())
+		}
+		for j := uint64(0); j < nq && r.Err() == nil; j++ {
+			e.queue = append(e.queue, record{taken: r.Bool(), vals: r.Uint64s()})
+		}
+		if r.Err() != nil {
+			break
+		}
+		if _, dup := u.entries[k]; dup {
+			return fmt.Errorf("core: checkpoint has duplicate table entry for pc=%d", k.pc)
+		}
+		u.entries[k] = e
+	}
+
+	hasCtx := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if hasCtx != (u.ctx != nil) {
+		return fmt.Errorf("core: checkpoint context-tracking %v does not match unit configuration %v", hasCtx, u.ctx != nil)
+	}
+	if u.ctx == nil {
+		return r.Err()
+	}
+	t := u.ctx
+	nloops := r.Uint()
+	if r.Err() == nil && nloops != uint64(len(t.loops)) {
+		return fmt.Errorf("core: checkpoint has %d context loops, unit is configured for %d", nloops, len(t.loops))
+	}
+	for i := range t.loops {
+		t.loops[i] = loopEntry{
+			valid:   r.Bool(),
+			loopPC:  int(r.Int()),
+			lastPC:  int(r.Int()),
+			funcPC:  int(r.Int()),
+			counter: int(r.Int()),
+			gen:     r.Uint(),
+		}
+	}
+	t.active = int(r.Int())
+	t.nextGen = r.Uint()
+	if r.Err() == nil && (t.active < -1 || t.active >= len(t.loops)) {
+		return fmt.Errorf("core: checkpoint active loop index %d out of range", t.active)
+	}
+	return r.Err()
+}

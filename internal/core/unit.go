@@ -192,18 +192,44 @@ func (u *Unit) clearGen(gen uint64) {
 // live: its loop generation was terminated/evicted, or it was allocated
 // outside any loop (generation 0) and execution has since entered a loop.
 // This is the over-capacity replacement heuristic of §V-C2 — entries of
-// stale contexts are the first to go. Reports whether a slot was freed.
+// stale contexts are the first to go. Among the dead entries the one
+// with the smallest key goes first: the choice must not depend on map
+// iteration order, or a unit rebuilt from a checkpoint (same entries,
+// different insertion history) could diverge from the original run.
+// Reports whether a slot was freed.
 func (u *Unit) evictDead() bool {
+	var victim btbKey
+	found := false
 	for k, e := range u.entries {
-		if !u.genLive(e.gen) {
-			u.recycleRecords(e)
-			u.freeEntries = append(u.freeEntries, e)
-			delete(u.entries, k)
-			u.stats.ContextClears++
-			return true
+		if u.genLive(e.gen) {
+			continue
+		}
+		if !found || keyLess(k, victim) {
+			victim = k
+			found = true
 		}
 	}
-	return false
+	if !found {
+		return false
+	}
+	e := u.entries[victim]
+	u.recycleRecords(e)
+	u.freeEntries = append(u.freeEntries, e)
+	delete(u.entries, victim)
+	u.stats.ContextClears++
+	return true
+}
+
+// keyLess orders Prob-BTB keys by (pc, loopBit, funcPC) — the canonical
+// order used for deterministic eviction and checkpoint serialization.
+func keyLess(a, b btbKey) bool {
+	if a.pc != b.pc {
+		return a.pc < b.pc
+	}
+	if a.loopBit != b.loopBit {
+		return a.loopBit < b.loopBit
+	}
+	return a.funcPC < b.funcPC
 }
 
 // genLive reports whether the loop generation still identifies the current
@@ -346,7 +372,7 @@ func (u *Unit) LiveBranches() int { return len(u.entries) }
 func (u *Unit) ContextTracker() *ContextTracker { return u.ctx }
 
 // SaveState returns an opaque snapshot of the PBS architectural state, and
-// RestoreState reinstates it. The paper recommends saving/restoring the
+// RestoreSaved reinstates it. The paper recommends saving/restoring the
 // 193 bytes of PBS state across context switches so no new initialization
 // phase is needed (§V-C2); these methods model that.
 func (u *Unit) SaveState() *SavedState {
@@ -367,8 +393,8 @@ type SavedState struct {
 	entries map[btbKey]entry
 }
 
-// RestoreState reinstates a snapshot produced by SaveState.
-func (u *Unit) RestoreState(s *SavedState) {
+// RestoreSaved reinstates a snapshot produced by SaveState.
+func (u *Unit) RestoreSaved(s *SavedState) {
 	// Drop the recycling scratch: the previous Resolution predates the
 	// restored state and must not be overwritten by post-restore records.
 	u.handed = nil

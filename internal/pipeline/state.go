@@ -1,0 +1,148 @@
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/ckpt"
+)
+
+// CheckpointState serializes the timing model's mutable state: metrics,
+// fetch cursors, dataflow readiness, the ROB/commit rings, the L1I
+// streak-bypass state, the cache hierarchy, and the live slice of the
+// functional-unit time ring. Config-derived fields (latencies, depths,
+// masks) are rebuilt by New; the predictor is a separate component the
+// session checkpoints itself.
+//
+// The FU ring is encoded sparsely: schedule only ever probes cycles at
+// or after the current fetch cycle, so cells whose stamped cycle is
+// already in the past can never match a future probe — they are dead
+// storage and restore as zero with identical scheduling behavior. This
+// turns 1 MiB of mostly stale ring into a few live cells.
+func (p *Pipeline) CheckpointState(w *ckpt.Writer) error {
+	w.Uint(p.m.Instructions)
+	w.Uint(p.m.Cycles)
+	w.Uint(p.m.Branches)
+	w.Uint(p.m.CondBranches)
+	w.Uint(p.m.ProbBranches)
+	w.Uint(p.m.ProbSteered)
+	w.Uint(p.m.ProbBoot)
+	w.Uint(p.m.ProbRegular)
+	w.Uint(p.m.Mispredicts)
+	w.Uint(p.m.MispredictsProb)
+	w.Uint(p.m.MispredictsReg)
+	w.Uint(p.m.L1IMisses)
+	w.Uint(p.m.L1DMisses)
+	w.Uint(p.m.L2Misses)
+	w.Uint(p.m.L1IAccesses)
+	w.Uint(p.m.L1DAccesses)
+
+	w.Uint(p.curFetchCycle)
+	w.Int(int64(p.fetchedInCycle))
+	w.Bool(p.breakFetch)
+	w.Uint(p.fetchBlockedUntil)
+	w.Uint64s(p.regReady[:])
+	w.Uint64s(p.robRing)
+	w.Uint64s(p.commitRing)
+	w.Int(int64(p.robPos))
+	w.Int(int64(p.commitPos))
+	w.Uint(p.lastCommit)
+	w.Uint(p.idx)
+	w.U64(p.lastIBlock)
+
+	if err := p.hier.CheckpointState(w); err != nil {
+		return err
+	}
+
+	for class := range p.fus.cells {
+		cells := &p.fus.cells[class]
+		live := 0
+		for i := range cells {
+			if cells[i].cycle() >= p.curFetchCycle && cells[i] != 0 {
+				live++
+			}
+		}
+		w.Uint(uint64(live))
+		for i := range cells {
+			if cells[i].cycle() >= p.curFetchCycle && cells[i] != 0 {
+				w.Uint(uint64(i))
+				w.Uint(uint64(cells[i]))
+			}
+		}
+	}
+	return nil
+}
+
+// RestoreState reads the field sequence written by CheckpointState into
+// a pipeline built with the same configuration.
+func (p *Pipeline) RestoreState(r *ckpt.Reader) error {
+	p.m.Instructions = r.Uint()
+	p.m.Cycles = r.Uint()
+	p.m.Branches = r.Uint()
+	p.m.CondBranches = r.Uint()
+	p.m.ProbBranches = r.Uint()
+	p.m.ProbSteered = r.Uint()
+	p.m.ProbBoot = r.Uint()
+	p.m.ProbRegular = r.Uint()
+	p.m.Mispredicts = r.Uint()
+	p.m.MispredictsProb = r.Uint()
+	p.m.MispredictsReg = r.Uint()
+	p.m.L1IMisses = r.Uint()
+	p.m.L1DMisses = r.Uint()
+	p.m.L2Misses = r.Uint()
+	p.m.L1IAccesses = r.Uint()
+	p.m.L1DAccesses = r.Uint()
+
+	p.curFetchCycle = r.Uint()
+	p.fetchedInCycle = int(r.Int())
+	p.breakFetch = r.Bool()
+	p.fetchBlockedUntil = r.Uint()
+	regReady := r.Uint64s()
+	robRing := r.Uint64s()
+	commitRing := r.Uint64s()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if len(regReady) != len(p.regReady) {
+		return fmt.Errorf("pipeline: checkpoint has %d ready registers, machine has %d", len(regReady), len(p.regReady))
+	}
+	if len(robRing) != len(p.robRing) || len(commitRing) != len(p.commitRing) {
+		return fmt.Errorf("pipeline: checkpoint ROB/commit rings are %d/%d entries, configuration needs %d/%d",
+			len(robRing), len(commitRing), len(p.robRing), len(p.commitRing))
+	}
+	copy(p.regReady[:], regReady)
+	copy(p.robRing, robRing)
+	copy(p.commitRing, commitRing)
+	p.robPos = int(r.Int())
+	p.commitPos = int(r.Int())
+	p.lastCommit = r.Uint()
+	p.idx = r.Uint()
+	p.lastIBlock = r.U64()
+	if r.Err() == nil && (p.robPos < 0 || p.robPos >= len(p.robRing) || p.commitPos < 0 || p.commitPos >= len(p.commitRing)) {
+		return fmt.Errorf("pipeline: checkpoint ring cursors %d/%d out of range", p.robPos, p.commitPos)
+	}
+
+	if err := p.hier.RestoreState(r); err != nil {
+		return err
+	}
+
+	for class := range p.fus.cells {
+		cells := &p.fus.cells[class]
+		clear(cells[:])
+		live := r.Uint()
+		if r.Err() == nil && live > uint64(r.Len()) {
+			return fmt.Errorf("pipeline: checkpoint claims %d live FU cells with %d bytes left", live, r.Len())
+		}
+		for i := uint64(0); i < live && r.Err() == nil; i++ {
+			idx := r.Uint()
+			cell := fuCell(r.Uint())
+			if r.Err() != nil {
+				break
+			}
+			if idx >= fuWindow {
+				return fmt.Errorf("pipeline: checkpoint FU cell index %d outside the %d-cycle ring", idx, fuWindow)
+			}
+			cells[idx] = cell
+		}
+	}
+	return r.Err()
+}

@@ -1,0 +1,23 @@
+package rng
+
+import "repro/internal/ckpt"
+
+// CheckpointState serializes the complete stream position: the xorshift
+// state word, the Box-Muller spare, and the draw counter. Restoring
+// these four fields replays the stream exactly from the checkpoint.
+func (s *Stream) CheckpointState(w *ckpt.Writer) error {
+	w.U64(s.state)
+	w.Bool(s.haveSpare)
+	w.Float(s.spare)
+	w.Uint(s.Draws)
+	return nil
+}
+
+// RestoreState reads the field sequence written by CheckpointState.
+func (s *Stream) RestoreState(r *ckpt.Reader) error {
+	s.state = r.U64()
+	s.haveSpare = r.Bool()
+	s.spare = r.Float()
+	s.Draws = r.Uint()
+	return r.Err()
+}

@@ -1,0 +1,281 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// restoreK is where the restore-identity tests interrupt the run:
+// deep enough that predictor tables, caches, the PBS unit and the FU
+// scheduler carry real state, well before any golden config completes.
+const restoreK = 50_000
+
+// runInterrupted executes cfg for k instructions, checkpoints, round-
+// trips the checkpoint through its serialized bytes (exactly what a
+// separate process would see), resumes a fresh session, and runs it to
+// completion.
+func runInterrupted(t *testing.T, cfg Config, k uint64) *Result {
+	t.Helper()
+	s, err := newSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFor(k); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode from a copy of the raw bytes so nothing can lean on the
+	// originating session's in-memory state.
+	loaded, err := LoadCheckpoint(append([]byte(nil), ck.Bytes()...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Instructions() != s.Instructions() {
+		t.Fatalf("loaded checkpoint reports %d instructions, session retired %d", loaded.Instructions(), s.Instructions())
+	}
+	restored, err := Resume(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return restored.Result()
+}
+
+func compareResults(t *testing.T, got, want *Result) {
+	t.Helper()
+	if got.Timing != want.Timing {
+		t.Errorf("timing metrics diverged:\n got %+v\nwant %+v", got.Timing, want.Timing)
+	}
+	if got.Emu != want.Emu {
+		t.Errorf("emu stats diverged:\n got %+v\nwant %+v", got.Emu, want.Emu)
+	}
+	if got.PBSStats != want.PBSStats {
+		t.Errorf("pbs stats diverged:\n got %+v\nwant %+v", got.PBSStats, want.PBSStats)
+	}
+	if hashU64(got.Outputs) != hashU64(want.Outputs) || len(got.Outputs) != len(want.Outputs) {
+		t.Errorf("outputs diverged: %d values, want %d", len(got.Outputs), len(want.Outputs))
+	}
+	if hashF64(got.Generated) != hashF64(want.Generated) {
+		t.Errorf("generated stream diverged")
+	}
+	if hashF64(got.Consumed) != hashF64(want.Consumed) {
+		t.Errorf("consumed stream diverged")
+	}
+}
+
+// TestCheckpointRestoreGolden: for every golden configuration, on both
+// the synchronous and the forced-async timing path, interrupting a run
+// with checkpoint→serialize→restore must not move a single counter
+// relative to the uninterrupted run.
+func TestCheckpointRestoreGolden(t *testing.T) {
+	for name, cfg := range goldenConfigs() {
+		for _, mode := range []string{"", "/async"} {
+			name, cfg, mode := name, cfg, mode
+			t.Run(name+mode, func(t *testing.T) {
+				t.Parallel()
+				if mode == "/async" {
+					cfg.TraceRing = 2
+				}
+				want, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got := runInterrupted(t, cfg, restoreK)
+				compareResults(t, got, want)
+			})
+		}
+	}
+}
+
+// TestCheckpointAtVariousPoints slides the checkpoint boundary across
+// awkward offsets — including ones that land between a PROB_CMP and its
+// terminal PROB_JMP — and demands identity at each.
+func TestCheckpointAtVariousPoints(t *testing.T) {
+	cfg := Config{Workload: "PI", Seed: 1, PBS: true, MaxInstrs: 120_000}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []uint64{1, 3, 7_777, 50_001, 119_999} {
+		k := k
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			got := runInterrupted(t, cfg, k)
+			compareResults(t, got, want)
+		})
+	}
+}
+
+// TestCheckpointByteStable: checkpoint → resume → checkpoint again must
+// reproduce the container byte for byte — machine state, not incidental
+// in-memory layout (map order, pool contents), is what gets encoded.
+func TestCheckpointByteStable(t *testing.T) {
+	cfg := Config{Workload: "PI", Seed: 1, PBS: true}
+	s, err := newSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFor(restoreK); err != nil {
+		t.Fatal(err)
+	}
+	ck1, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Resume(ck1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck2, err := restored.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ck1.Bytes(), ck2.Bytes()) {
+		t.Fatalf("re-checkpoint differs: %d vs %d bytes", len(ck1.Bytes()), len(ck2.Bytes()))
+	}
+}
+
+// TestResumeFunctionalThenTiming models the warm-prefix path: a
+// functional-only checkpoint resumed with the timing model enabled.
+// Functional results must equal the uninterrupted functional run; the
+// timing model must cover exactly the post-checkpoint suffix.
+func TestResumeFunctionalThenTiming(t *testing.T) {
+	cfg := Config{Workload: "Genetic", Seed: 13, PBS: true, SkipTiming: true, MaxInstrs: 300_000}
+	want, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := newSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFor(restoreK); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Resume(ck, WithTiming(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := restored.Result()
+	if got.Emu != want.Emu {
+		t.Errorf("functional stats diverged:\n got %+v\nwant %+v", got.Emu, want.Emu)
+	}
+	if got.PBSStats != want.PBSStats {
+		t.Errorf("pbs stats diverged:\n got %+v\nwant %+v", got.PBSStats, want.PBSStats)
+	}
+	if hashU64(got.Outputs) != hashU64(want.Outputs) {
+		t.Errorf("outputs diverged")
+	}
+	if wantSuffix := want.Emu.Instructions - restoreK; got.Timing.Instructions != wantSuffix {
+		t.Errorf("timing model saw %d instructions, want the %d-instruction suffix", got.Timing.Instructions, wantSuffix)
+	}
+	if got.Timing.Cycles == 0 {
+		t.Error("timing model produced no cycles after functional resume")
+	}
+}
+
+// TestResumeValidation: every way a resume can be inconsistent with its
+// checkpoint must produce a clear error, and damaged containers must be
+// rejected at load time.
+func TestResumeValidation(t *testing.T) {
+	cfg := Config{Workload: "PI", Seed: 1, PBS: true}
+	s, err := newSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RunFor(10_000); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := Resume(ck, WithPredictor(PredTournament)); err == nil || !strings.Contains(err.Error(), "predictor") {
+		t.Errorf("predictor mismatch not rejected: %v", err)
+	}
+	if _, err := Resume(ck, WithPBS(false)); err == nil || !strings.Contains(err.Error(), "PBS") {
+		t.Errorf("PBS mismatch not rejected: %v", err)
+	}
+	if _, err := Resume(ck, WithScale(2)); err == nil || !strings.Contains(err.Error(), "program") {
+		t.Errorf("program mismatch not rejected: %v", err)
+	}
+
+	data := ck.Bytes()
+	if _, err := LoadCheckpoint(data[:len(data)/2]); err == nil {
+		t.Error("truncated checkpoint loaded without error")
+	}
+	mut := append([]byte(nil), data...)
+	mut[len(mut)/2] ^= 0x40
+	if _, err := LoadCheckpoint(mut); err == nil {
+		t.Error("corrupted checkpoint loaded without error")
+	}
+	if _, err := LoadCheckpoint(nil); err == nil {
+		t.Error("empty checkpoint loaded without error")
+	}
+}
+
+// TestCheckpointOfFaultedSession: a dead session must refuse to
+// checkpoint rather than serialize a half-updated machine.
+func TestCheckpointOfFaultedSession(t *testing.T) {
+	s, err := newSession(Config{Workload: "PI", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.err = errTestFault
+	if _, err := s.Checkpoint(); err == nil {
+		t.Fatal("faulted session produced a checkpoint")
+	}
+}
+
+var errTestFault = errFault{}
+
+type errFault struct{}
+
+func (errFault) Error() string { return "synthetic fault" }
+
+// BenchmarkCheckpointRoundtrip measures the save + load + restore cost
+// of a warmed-up full-machine checkpoint, and reports its encoded size.
+func BenchmarkCheckpointRoundtrip(b *testing.B) {
+	s, err := New("PI", WithSeed(1), WithPBS(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.RunFor(200_000); err != nil {
+		b.Fatal(err)
+	}
+	ck, err := s.Checkpoint()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(ck.Bytes())))
+	b.ReportMetric(float64(len(ck.Bytes())), "ckpt-bytes")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ck, err := s.Checkpoint()
+		if err != nil {
+			b.Fatal(err)
+		}
+		loaded, err := LoadCheckpoint(ck.Bytes())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Resume(loaded); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -96,6 +96,14 @@ func WithoutTiming() Option {
 	return func(c *Config) { c.SkipTiming = true }
 }
 
+// WithTiming sets the timing model on or off explicitly. WithTiming(true)
+// overrides an inherited SkipTiming — in particular, Resume on a
+// functional-only (warm-prefix) checkpoint uses it to continue with a
+// full timing pipeline started cold at the checkpoint boundary.
+func WithTiming(on bool) Option {
+	return func(c *Config) { c.SkipTiming = !on }
+}
+
 // WithSyncTiming makes the timing model consume the trace synchronously
 // on the emulating goroutine instead of on its own consumer goroutine.
 // Results are byte-identical to the default asynchronous pipeline — this

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -34,6 +35,26 @@ type Engine struct {
 	// RunPoints). Results are identical either way; this is the
 	// scheduling escape hatch cmd/pbsweep -sync-timing sets.
 	SyncTiming bool
+
+	// warm memoizes functional warm-prefix checkpoints by canonical warm
+	// point (see Point.warmPoint), keyed like the result memos so repeat
+	// sweeps on one engine reuse the same warm-ups. Unlike Programs and
+	// Results it is always on — sharing the prefix run across a group is
+	// what WarmPrefix means, not an optional cache. Entries singleflight:
+	// concurrent points of one group run the prefix exactly once, the
+	// rest wait for that run. Lazily built; guarded by warmMu.
+	warmMu sync.Mutex
+	warm   map[Point]*warmEntry
+}
+
+// warmEntry is one singleflight slot of the warm-checkpoint memo. After
+// once completes, ck == nil with err == nil means the program halted
+// inside the would-be prefix: there is no shared suffix to fork, and the
+// group's points run cold instead.
+type warmEntry struct {
+	once sync.Once
+	ck   *sim.Checkpoint
+	err  error
 }
 
 // NewEngine returns an engine with program and result caching enabled.
@@ -162,8 +183,11 @@ func (e *Engine) Run(ctx context.Context, g Grid) (Results, error) {
 // point saturates the pool; its shards are ordinary single-seed points
 // that hit the shared result memo, and their completed results merge
 // into an Aggregate in seed order. The first error aborts the sweep: no
-// further jobs are dispatched, and the error is returned once in-flight
-// jobs drain. Results are positionally deterministic — the same points
+// further jobs are dispatched, in-flight warm-prefix runs are cancelled,
+// and the error is returned once in-flight jobs drain. Points with a
+// WarmPrefix fork from a shared functional checkpoint of their group's
+// prefix, run once per group (see Grid.WarmPrefix). Results are
+// positionally deterministic — the same points
 // produce the same results at any parallelism, with timing consumed
 // synchronously or asynchronously per the goroutine budget below.
 func (e *Engine) RunPoints(ctx context.Context, pts []Point, parallel int) (Results, error) {
@@ -260,7 +284,7 @@ func (e *Engine) runPoints(ctx context.Context, pts []Point, parallel int, syncT
 				if jb.shard >= 0 {
 					p = p.Shard(seedsOf[jb.point][jb.shard])
 				}
-				res, err := e.runPoint(p, syncTiming)
+				res, err := e.runPoint(ctx, p, syncTiming)
 				if err != nil {
 					// No "sweep:" prefix: the wrapped error carries its
 					// package prefix already.
@@ -319,8 +343,10 @@ dispatch:
 // caches. Cached programs are shared read-only across the concurrently
 // running sessions of the worker pool. syncTiming is a pure scheduling
 // knob — results (and therefore memo entries) are identical either way,
-// so it stays out of the point's identity.
-func (e *Engine) runPoint(p Point, syncTiming bool) (*sim.Result, error) {
+// so it stays out of the point's identity. ctx cancellation is only
+// observed inside warm-prefix runs (see runWarmPrefix); a point's own
+// session runs to completion once started, as before.
+func (e *Engine) runPoint(ctx context.Context, p Point, syncTiming bool) (*sim.Result, error) {
 	p = p.normalize()
 	memoize := e.Results != nil && !p.CaptureProb
 	if memoize {
@@ -342,9 +368,30 @@ func (e *Engine) runPoint(p Point, syncTiming bool) (*sim.Result, error) {
 		}
 		opts = append(opts, sim.WithProgram(prog))
 	}
-	s, err := sim.New(p.Workload, opts...)
-	if err != nil {
-		return nil, err
+	var s *sim.Session
+	if wp, ok := p.warmPoint(); ok {
+		ck, err := e.warmCheckpoint(ctx, wp)
+		if err != nil {
+			return nil, fmt.Errorf("warm prefix %s: %w", wp, err)
+		}
+		if ck != nil {
+			// Fork the point from the group's shared functional prefix.
+			// The point's own options land on top of the checkpoint's
+			// embedded config, turning the timing model (back) on where
+			// the point wants it — it starts cold at the boundary — and
+			// restoring the point's predictor, width, filter setting and
+			// instruction budget.
+			s, err = sim.Resume(ck, opts...)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s == nil {
+		s, err = sim.New(p.Workload, opts...)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if err := s.Run(); err != nil {
 		return nil, err
@@ -354,6 +401,100 @@ func (e *Engine) runPoint(p Point, syncTiming bool) (*sim.Result, error) {
 		e.Results.put(p, res)
 	}
 	return res, nil
+}
+
+// warmPoint returns the canonical point whose functional checkpoint this
+// point forks from, and whether warm-prefix reuse applies at all. The
+// timing-only axes — predictor, core width, predictor filtering — are
+// canonicalized away, because emulation never consumes timing results:
+// points differing only there produce the same retired-instruction
+// stream and so share one warm-up. What remains (workload, variant,
+// scale, seed, PBS hardware, value capture) is exactly what shapes
+// functional state. Reuse is skipped when the point's own budget ends
+// inside the prefix — fast-forwarding past MaxInstrs would simulate a
+// different run — and for aggregate points, which never run directly.
+func (p Point) warmPoint() (Point, bool) {
+	if p.WarmPrefix == 0 || p.Sharded() || (p.MaxInstrs != 0 && p.MaxInstrs <= p.WarmPrefix) {
+		return Point{}, false
+	}
+	w := p.normalize()
+	w.Predictor = sim.PredTAGESCL
+	w.Width = 4
+	w.FilterProb = false
+	w.SkipTiming = true
+	w.MaxInstrs = p.WarmPrefix
+	w.WarmPrefix = 0
+	return w, true
+}
+
+// warmCheckpoint returns the group's shared prefix checkpoint, running
+// the warm-up on the first request and parking concurrent requesters on
+// that run. A checkpoint is immutable bytes, so any number of points
+// fork from one entry concurrently. A warm-up aborted by sweep
+// cancellation is evicted rather than memoized: the abort belongs to
+// that sweep, and a later Run on the same engine must redo the work, not
+// inherit the stale context's error.
+func (e *Engine) warmCheckpoint(ctx context.Context, wp Point) (*sim.Checkpoint, error) {
+	e.warmMu.Lock()
+	if e.warm == nil {
+		e.warm = make(map[Point]*warmEntry)
+	}
+	ent := e.warm[wp]
+	if ent == nil {
+		ent = &warmEntry{}
+		e.warm[wp] = ent
+	}
+	e.warmMu.Unlock()
+	ent.once.Do(func() {
+		ent.ck, ent.err = e.runWarmPrefix(ctx, wp)
+	})
+	if ent.err != nil && (errors.Is(ent.err, context.Canceled) || errors.Is(ent.err, context.DeadlineExceeded)) {
+		e.warmMu.Lock()
+		if e.warm[wp] == ent {
+			delete(e.warm, wp)
+		}
+		e.warmMu.Unlock()
+	}
+	return ent.ck, ent.err
+}
+
+// warmChunk is the RunFor granularity of a warm-up run: coarse enough
+// that the chunking cost vanishes, fine enough that a first-error abort
+// cancels an in-flight warm-up promptly.
+const warmChunk = 1 << 18
+
+// runWarmPrefix executes the canonical warm point's functional prefix
+// and checkpoints it, checking for sweep cancellation between chunks.
+// A nil, nil return means the program halted before the prefix ended:
+// there is no suffix to share, and the caller runs its points cold.
+func (e *Engine) runWarmPrefix(ctx context.Context, wp Point) (*sim.Checkpoint, error) {
+	opts, err := wp.Options()
+	if err != nil {
+		return nil, err
+	}
+	if e.Programs != nil {
+		prog, err := e.Programs.Get(wp.Workload, wp.Scale, wp.Variant)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, sim.WithProgram(prog))
+	}
+	s, err := sim.New(wp.Workload, opts...)
+	if err != nil {
+		return nil, err
+	}
+	for !s.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := s.RunFor(warmChunk); err != nil {
+			return nil, err
+		}
+	}
+	if s.Halted() {
+		return nil, nil
+	}
+	return s.Checkpoint()
 }
 
 // progKey identifies one assembled program.

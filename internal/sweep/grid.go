@@ -52,6 +52,16 @@ type Grid struct {
 	CaptureProb bool `json:"capture_prob,omitempty"`
 	// MaxInstrs caps emulation per point; 0 runs to completion.
 	MaxInstrs uint64 `json:"max_instrs,omitempty"`
+	// WarmPrefix fast-forwards each point over its first N instructions
+	// using a shared functional checkpoint: points that agree on the
+	// functional coordinates (workload, program variant, scale, seed, PBS
+	// hardware) run the prefix once per group with the timing model off,
+	// checkpoint, and every member forks from the restored state. The
+	// emulator's trace never depends on the timing-only axes (predictor,
+	// width, predictor filtering), so functional results are exactly those
+	// of a cold run; timing metrics cover only the post-prefix suffix —
+	// the SimPoint-style measured region. 0 runs every point cold.
+	WarmPrefix uint64 `json:"warm_prefix,omitempty"`
 	// Parallel bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallel int `json:"parallel,omitempty"`
 	// SyncTiming forces every point onto the synchronous timing path.
@@ -154,6 +164,10 @@ type Point struct {
 	SkipTiming  bool
 	CaptureProb bool
 	MaxInstrs   uint64
+	// WarmPrefix is part of the point's identity, not just scheduling: a
+	// warm-forked run reports timing only over the post-prefix suffix, so
+	// it must never share a memo entry with a cold run of the same Key.
+	WarmPrefix uint64
 }
 
 func (p Point) normalize() Point {
@@ -175,6 +189,9 @@ func (p Point) String() string {
 	}
 	if p.FilterProb {
 		s += "/filter-prob"
+	}
+	if p.WarmPrefix > 0 {
+		s += fmt.Sprintf("/warm=%d", p.WarmPrefix)
 	}
 	return s
 }
@@ -207,10 +224,11 @@ func (p Point) Options() ([]sim.Option, error) {
 		sim.WithFilterProb(p.FilterProb),
 		sim.WithCaptureProb(p.CaptureProb),
 		sim.WithMaxInstrs(p.MaxInstrs),
+		// Timing is set explicitly both ways: when the engine resumes the
+		// point from a functional warm checkpoint (whose embedded config
+		// has SkipTiming on), the option must override it back on.
+		sim.WithTiming(!p.SkipTiming),
 	)
-	if p.SkipTiming {
-		opts = append(opts, sim.WithoutTiming())
-	}
 	switch p.Width {
 	case 4:
 		// pipeline.FourWide is the sim default.
@@ -305,6 +323,7 @@ func (g Grid) Points() ([]Point, error) {
 									SkipTiming:  g.SkipTiming,
 									CaptureProb: g.CaptureProb,
 									MaxInstrs:   g.MaxInstrs,
+									WarmPrefix:  g.WarmPrefix,
 								})
 							}
 							if g.ShardSeeds {

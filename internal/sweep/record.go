@@ -23,11 +23,14 @@ type Record struct {
 	Variant    string `json:"variant"`
 	FilterProb bool   `json:"filter_prob,omitempty"`
 	Scale      int    `json:"scale"`
-	// SkipTiming, CaptureProb and MaxInstrs flag functional-only or
-	// truncated runs, whose metrics must not be mixed with full runs.
+	// SkipTiming, CaptureProb, MaxInstrs and WarmPrefix flag
+	// functional-only, truncated, or fast-forwarded runs, whose metrics
+	// must not be mixed with full runs: a warm-prefix row's timing covers
+	// only the post-prefix suffix.
 	SkipTiming  bool   `json:"skip_timing,omitempty"`
 	CaptureProb bool   `json:"capture_prob,omitempty"`
 	MaxInstrs   uint64 `json:"max_instrs,omitempty"`
+	WarmPrefix  uint64 `json:"warm_prefix,omitempty"`
 
 	Instructions uint64  `json:"instructions"`
 	Cycles       uint64  `json:"cycles,omitempty"`
@@ -107,6 +110,7 @@ func pointRecord(p Point) Record {
 		SkipTiming:  p.SkipTiming,
 		CaptureProb: p.CaptureProb,
 		MaxInstrs:   p.MaxInstrs,
+		WarmPrefix:  p.WarmPrefix,
 	}
 }
 
@@ -201,7 +205,7 @@ func (rs Results) WriteJSON(w io.Writer) error {
 // csvColumns is the WriteCSV column order.
 var csvColumns = []string{
 	"workload", "predictor", "pbs", "width", "seed", "variant", "filter_prob", "scale",
-	"skip_timing", "capture_prob", "max_instrs",
+	"skip_timing", "capture_prob", "max_instrs", "warm_prefix",
 	"instructions", "cycles", "ipc", "branches", "cond_branches", "prob_branches",
 	"mispredicts", "mpki", "mpki_prob", "mpki_reg",
 	"prob_steered", "prob_bootstrap", "prob_regular",
@@ -223,7 +227,7 @@ func (rs Results) WriteCSV(w io.Writer) error {
 			rec.Workload, rec.Predictor, strconv.FormatBool(rec.PBS),
 			strconv.Itoa(rec.Width), u(rec.Seed), rec.Variant,
 			strconv.FormatBool(rec.FilterProb), strconv.Itoa(rec.Scale),
-			strconv.FormatBool(rec.SkipTiming), strconv.FormatBool(rec.CaptureProb), u(rec.MaxInstrs),
+			strconv.FormatBool(rec.SkipTiming), strconv.FormatBool(rec.CaptureProb), u(rec.MaxInstrs), u(rec.WarmPrefix),
 			u(rec.Instructions), u(rec.Cycles), f(rec.IPC),
 			u(rec.Branches), u(rec.CondBranches), u(rec.ProbBranches),
 			u(rec.Mispredicts), f(rec.MPKI), f(rec.MPKIProb), f(rec.MPKIReg),
