@@ -1,7 +1,10 @@
 // Command pbsweep runs a declarative grid of simulations — workloads ×
 // predictors × PBS on/off × core widths × seeds × variants — through the
 // batch engine (internal/sweep) and emits machine-readable per-point
-// results.
+// results. It is also the front end of the sweep service (internal/serve):
+// `pbsweep serve` runs the job server, `pbsweep worker` attaches a
+// pull-based executor, and `pbsweep -server URL ...` submits the grid to
+// a server instead of simulating in-process — with byte-identical output.
 //
 // Usage:
 //
@@ -12,51 +15,189 @@
 //	pbsweep -spec grid.json                   # grid from a JSON specification file
 //	pbsweep -list
 //
+//	pbsweep serve -addr :9571 -store /var/tmp/pbs-store     # job server with a persistent result store
+//	pbsweep worker -server http://host:9571                 # attach GOMAXPROCS single-point executors
+//	pbsweep -server http://host:9571 -workloads PI -seeds 1,2,3   # client mode: same grid, same bytes
+//
 // A specification file is the JSON encoding of the sweep.Grid struct:
 //
 //	{"workloads": ["PI"], "predictors": ["tage-sc-l"], "pbs": [false, true], "seeds": [11, 23]}
+//
+// SIGINT/SIGTERM interrupt a batch or client run cleanly: completed
+// records are flushed to the output before exiting 130, so a long sweep
+// cut short still yields its finished points. The server traps the same
+// signals, stops handing out work, and drains outstanding leases before
+// exiting (a second signal aborts the drain).
 package main
 
 import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"repro/internal/branch"
 	"repro/internal/prof"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
 )
 
 func main() {
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "worker":
+			runWorker(os.Args[2:])
+			return
+		}
+	}
+	runBatch(os.Args[1:])
+}
+
+// runServe is `pbsweep serve`: the sweep job server.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("pbsweep serve", flag.ExitOnError)
 	var (
-		spec      = flag.String("spec", "", "JSON grid specification file (overrides the grid flags; -parallel still applies)")
-		workload  = flag.String("workloads", "all", "comma-separated benchmark names, or \"all\"")
-		predictor = flag.String("predictors", "tage-sc-l,tournament", "comma-separated predictors: "+strings.Join(branch.Names(), " | "))
-		pbs       = flag.String("pbs", "both", "PBS hardware: on | off | both")
-		widths    = flag.String("widths", "4", "comma-separated core widths (4 and/or 8)")
-		seeds     = flag.String("seeds", "1", "comma-separated machine RNG seeds")
-		variants  = flag.String("variants", "plain", "comma-separated program variants: plain | predicated | cfd (inapplicable combinations are skipped)")
-		shard     = flag.Bool("shard-seeds", false, "collapse the seed axis: run each coordinate as one aggregate point whose per-seed shards fan across the worker pool; output gains a mean/95%-CI aggregate row per point alongside the per-seed rows")
-		syncT     = flag.Bool("sync-timing", false, "force synchronous timing in every simulation (escape hatch; by default the engine overlaps emulation and timing per point only when the worker pool leaves cores idle)")
-		warm      = flag.Uint64("warm-prefix", 0, "fast-forward each point over its first N instructions via a functional checkpoint shared across points that differ only in timing axes; timing metrics then cover the post-prefix suffix (0 = run every point cold)")
-		scale     = flag.Int("scale", 1, "workload iteration scale")
-		parallel  = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		format    = flag.String("format", "json", "output format: json | csv")
-		out       = flag.String("o", "", "output file (default stdout)")
-		progress  = flag.Bool("progress", true, "report progress on stderr")
-		list      = flag.Bool("list", false, "list benchmarks and predictors, then exit")
-		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		addr     = fs.String("addr", ":9571", "listen address")
+		storeDir = fs.String("store", "", "content-addressed result store directory (empty = in-memory only; results vanish with the process)")
+		leaseTTL = fs.Duration("lease-ttl", 30*time.Second, "worker lease deadline; a worker silent for this long has its point re-leased")
+		quiet    = fs.Bool("quiet", false, "suppress per-event protocol logging on stderr")
 	)
-	flag.Parse()
+	fs.Parse(args)
+	store, err := serve.OpenStore(*storeDir)
+	if err != nil {
+		fail(err)
+	}
+	srv := serve.NewServer(store)
+	srv.LeaseTTL = *leaseTTL
+	if !*quiet {
+		srv.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	where := *storeDir
+	if where == "" {
+		where = "memory"
+	}
+	fmt.Fprintf(os.Stderr, "pbsweep: serving on %s (store: %s)\n", *addr, where)
+	select {
+	case err := <-errc:
+		fail(err)
+	case <-ctx.Done():
+	}
+	stop()
+
+	// Drain: no new leases; wait for in-flight points to complete or
+	// expire. A second signal gives up on the stragglers.
+	fmt.Fprintln(os.Stderr, "pbsweep: draining leases (interrupt again to abort)")
+	dctx, dstop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer dstop()
+	if err := srv.Drain(dctx); err != nil {
+		fmt.Fprintln(os.Stderr, "pbsweep: drain aborted with leases outstanding")
+	}
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	hs.Shutdown(sctx)
+}
+
+// runWorker is `pbsweep worker`: N pull-based single-point executors
+// sharing one program cache.
+func runWorker(args []string) {
+	fs := flag.NewFlagSet("pbsweep worker", flag.ExitOnError)
+	var (
+		server   = fs.String("server", "", "job server base URL, e.g. http://host:9571 (required)")
+		parallel = fs.Int("parallel", 0, "concurrent points (0 = GOMAXPROCS)")
+		name     = fs.String("name", "", "worker name prefix in server logs (default: hostname)")
+		poll     = fs.Duration("poll", 0, "idle re-poll interval floor (0 = server's suggestion)")
+	)
+	fs.Parse(args)
+	if *server == "" {
+		fail(errors.New("worker: -server is required"))
+	}
+	n := *parallel
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if *name == "" {
+		if h, err := os.Hostname(); err == nil {
+			*name = h
+		} else {
+			*name = "worker"
+		}
+	}
+	// The engine's goroutine budget, applied across the process: when
+	// the executors alone can saturate the machine, the async timing
+	// pipeline's extra goroutine per point only adds scheduling pressure.
+	// Results are byte-identical either way.
+	syncTiming := 2*n > runtime.GOMAXPROCS(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	progs := sweep.NewProgramCache()
+	var wg sync.WaitGroup
+	for i := range n {
+		w := &serve.Worker{
+			Server:     *server,
+			Name:       fmt.Sprintf("%s/%d", *name, i),
+			Programs:   progs,
+			SyncTiming: syncTiming,
+			Poll:       *poll,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	fmt.Fprintf(os.Stderr, "pbsweep: %d worker(s) attached to %s\n", n, *server)
+	wg.Wait()
+}
+
+// runBatch is the classic pbsweep invocation: expand a grid and run it —
+// in-process through the batch engine, or on a job server with -server.
+func runBatch(args []string) {
+	fs := flag.NewFlagSet("pbsweep", flag.ExitOnError)
+	var (
+		spec      = fs.String("spec", "", "JSON grid specification file (overrides the grid flags; -parallel still applies)")
+		workload  = fs.String("workloads", "all", "comma-separated benchmark names, or \"all\"")
+		predictor = fs.String("predictors", "tage-sc-l,tournament", "comma-separated predictors: "+strings.Join(branch.Names(), " | "))
+		pbs       = fs.String("pbs", "both", "PBS hardware: on | off | both")
+		widths    = fs.String("widths", "4", "comma-separated core widths (4 and/or 8)")
+		seeds     = fs.String("seeds", "1", "comma-separated machine RNG seeds")
+		variants  = fs.String("variants", "plain", "comma-separated program variants: plain | predicated | cfd (inapplicable combinations are skipped)")
+		shard     = fs.Bool("shard-seeds", false, "collapse the seed axis: run each coordinate as one aggregate point whose per-seed shards fan across the worker pool; output gains a mean/95%-CI aggregate row per point alongside the per-seed rows")
+		syncT     = fs.Bool("sync-timing", false, "force synchronous timing in every simulation (escape hatch; by default the engine overlaps emulation and timing per point only when the worker pool leaves cores idle)")
+		warm      = fs.Uint64("warm-prefix", 0, "fast-forward each point over its first N instructions via a functional checkpoint shared across points that differ only in timing axes; timing metrics then cover the post-prefix suffix (0 = run every point cold)")
+		scale     = fs.Int("scale", 1, "workload iteration scale")
+		parallel  = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		server    = fs.String("server", "", "submit the grid to a sweep job server at this base URL instead of simulating in-process")
+		format    = fs.String("format", "json", "output format: json | csv")
+		out       = fs.String("o", "", "output file (default stdout)")
+		progress  = fs.Bool("progress", true, "report progress on stderr")
+		list      = fs.Bool("list", false, "list benchmarks and predictors, then exit")
+		cpuprof   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = fs.String("memprofile", "", "write a heap profile to this file on exit")
+	)
+	fs.Parse(args)
 
 	stopProf, err := prof.Start(*cpuprof, *memprof)
 	if err != nil {
@@ -87,61 +228,112 @@ func main() {
 		fail(err)
 	}
 
-	eng := sweep.NewEngine()
-	if *progress {
-		// Progress callbacks arrive concurrently from the workers; print
-		// monotonically so a stale count never overwrites the final line.
-		var mu sync.Mutex
-		printed := 0
-		eng.OnProgress = func(done, total int) {
-			mu.Lock()
-			defer mu.Unlock()
-			if done <= printed {
-				return
-			}
-			printed = done
-			// With -shard-seeds each run is one seed shard of an
-			// aggregate point, so the count tracks shard completion.
-			fmt.Fprintf(os.Stderr, "\rpbsweep: %d/%d runs", done, total)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
-			}
-		}
+	// A signal cancels the run; completed records still flush below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var recs []sweep.Record
+	if *server != "" {
+		recs, err = collectRemote(ctx, *server, grid, *progress)
+	} else {
+		recs, err = runLocal(ctx, grid, *progress)
 	}
-	results, err := eng.Run(context.Background(), grid)
-	if err != nil {
-		if *progress {
-			fmt.Fprintln(os.Stderr)
-		}
+	interrupted := ctx.Err() != nil && errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
 		fail(err)
 	}
-	if len(results) == 0 {
+	if len(recs) == 0 {
+		if interrupted {
+			fail(fmt.Errorf("interrupted before any point completed"))
+		}
 		fail(fmt.Errorf("grid expanded to no runnable points (every workload × variant combination is inapplicable)"))
 	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "pbsweep: interrupted; flushing %d completed record(s)\n", len(recs))
+	}
+	if err := writeRecords(recs, *format, *out); err != nil {
+		fail(err)
+	}
+	if interrupted {
+		exit(130)
+	}
+}
 
+// runLocal runs the grid on the in-process batch engine. On ctx
+// cancellation the engine returns the points completed before the
+// abort, in point order, alongside context.Canceled.
+func runLocal(ctx context.Context, grid sweep.Grid, progress bool) ([]sweep.Record, error) {
+	eng := sweep.NewEngine()
+	if progress {
+		eng.OnProgress = progressLine("runs")
+	}
+	results, err := eng.Run(ctx, grid)
+	if progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	return results.Records(), err
+}
+
+// collectRemote submits the grid to a job server and reassembles the
+// streamed rows. On ctx cancellation the rows received so far come back
+// in order alongside context.Canceled, exactly like the local path.
+func collectRemote(ctx context.Context, server string, grid sweep.Grid, progress bool) ([]sweep.Record, error) {
+	c := &serve.Client{Server: server}
+	var onRow func(done, total int)
+	if progress {
+		onRow = progressLine("rows")
+	}
+	recs, err := c.Collect(ctx, grid, onRow)
+	if progress {
+		fmt.Fprintln(os.Stderr)
+	}
+	return recs, err
+}
+
+// progressLine returns a monotonic stderr progress callback: updates
+// arrive concurrently, and a stale count must never overwrite a newer
+// one.
+func progressLine(unit string) func(done, total int) {
+	var mu sync.Mutex
+	printed := 0
+	return func(done, total int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if done <= printed {
+			return
+		}
+		printed = done
+		fmt.Fprintf(os.Stderr, "\rpbsweep: %d/%d %s", done, total, unit)
+	}
+}
+
+// writeRecords emits the records in the requested format, to stdout or
+// the -o file.
+func writeRecords(recs []sweep.Record, format, out string) error {
 	w := os.Stdout
 	var f *os.File
-	if *out != "" {
-		f, err = os.Create(*out)
+	if out != "" {
+		var err error
+		f, err = os.Create(out)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		w = f
 	}
-	if *format == "json" {
-		err = results.WriteJSON(w)
+	var err error
+	if format == "json" {
+		err = sweep.WriteRecordsJSON(w, recs)
 	} else {
-		err = results.WriteCSV(w)
+		err = sweep.WriteRecordsCSV(w, recs)
 	}
 	if err != nil {
-		fail(err)
+		return err
 	}
 	if f != nil {
 		// A failed close can mean a truncated file; report it.
-		if err := f.Close(); err != nil {
-			fail(err)
-		}
+		return f.Close()
 	}
+	return nil
 }
 
 func gridFromFlags(spec, workload, predictor, pbs, widths, seeds, variants string, scale, parallel int, warmPrefix uint64, shard, syncTiming bool) (sweep.Grid, error) {
@@ -239,13 +431,18 @@ func splitCSV(s string) []string {
 }
 
 // profStop finishes any active pprof profiles (idempotent; see
-// prof.Start). fail runs it so os.Exit does not truncate profile files.
+// prof.Start). fail and exit run it so os.Exit does not truncate
+// profile files.
 var profStop = func() error { return nil }
 
-func fail(err error) {
+func exit(code int) {
 	if perr := profStop(); perr != nil {
 		fmt.Fprintln(os.Stderr, "pbsweep:", perr)
 	}
+	os.Exit(code)
+}
+
+func fail(err error) {
 	fmt.Fprintln(os.Stderr, "pbsweep:", err)
-	os.Exit(1)
+	exit(1)
 }

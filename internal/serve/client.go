@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	"repro/internal/sweep"
+)
+
+// ErrNoJob marks a stream request for a job the server does not know —
+// a restarted server, or a mistyped ID. Reconnecting cannot recover it.
+var ErrNoJob = errors.New("serve: no such job")
+
+// Client submits grids to a job server and reassembles the streamed
+// rows into the batch engine's record order. The reassembled records
+// serialize byte-identically to an in-process run of the same grid
+// (sweep.WriteRecordsJSON / WriteRecordsCSV), because every row is the
+// server-side marshaling of the same Record struct the batch writers
+// flatten, placed at the position the batch order assigns it.
+type Client struct {
+	// Server is the base URL of the job server.
+	Server string
+	// HTTP is the client used for every request; nil means a default
+	// with no overall timeout (streams need none).
+	HTTP *http.Client
+}
+
+// Submit posts a grid and returns the accepted job's description.
+func (c *Client) Submit(ctx context.Context, g sweep.Grid) (JobResponse, error) {
+	var jr JobResponse
+	err := postJSON(ctx, c.httpClient(), c.Server, "/v1/jobs", JobRequest{Grid: g}, &jr)
+	return jr, err
+}
+
+// Status fetches a job's progress.
+func (c *Client) Status(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Server+"/v1/jobs/"+url.PathEscape(id), nil)
+	if err != nil {
+		return st, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return st, fmt.Errorf("serve: job status: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// Stream follows a job's NDJSON stream from sequence number `from`,
+// invoking fn per entry (including the terminal Done entry), until the
+// stream ends or ctx is cancelled. It makes a single connection; use
+// Collect for resume-on-disconnect semantics.
+func (c *Client) Stream(ctx context.Context, id string, from int, fn func(StreamEntry) error) error {
+	u := c.Server + "/v1/jobs/" + url.PathEscape(id) + "/stream?from=" + strconv.Itoa(from)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		// The job does not exist on this server (say, a restarted one);
+		// no amount of reconnecting brings it back.
+		return fmt.Errorf("%w: job %s", ErrNoJob, id)
+	}
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("serve: stream: %s", resp.Status)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e StreamEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("serve: stream: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Collect submits a grid and gathers the complete, ordered record set,
+// reconnecting (and resuming exactly where it left off, by sequence
+// number) if the stream drops while the job is still running. onRow,
+// when non-nil, observes progress as rows land. On error — including
+// ctx cancellation mid-stream — the rows received so far are returned
+// in order alongside the error, so an interrupted client can still
+// flush what the cluster finished.
+func (c *Client) Collect(ctx context.Context, g sweep.Grid, onRow func(done, total int)) ([]sweep.Record, error) {
+	jr, err := c.Submit(ctx, g)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]json.RawMessage, jr.Rows)
+	filled := 0
+	next := 0
+	var jobErr, fatal error
+	done := false
+	for !done {
+		err := c.Stream(ctx, jr.ID, next, func(e StreamEntry) error {
+			if e.Seq != next {
+				fatal = fmt.Errorf("serve: stream out of sequence: got %d, want %d", e.Seq, next)
+				return fatal
+			}
+			next++
+			if e.Done {
+				if e.Err != "" {
+					jobErr = fmt.Errorf("serve: job %s failed: %s", jr.ID, e.Err)
+				}
+				done = true
+				return nil
+			}
+			if e.Pos < 0 || e.Pos >= len(rows) {
+				fatal = fmt.Errorf("serve: row position %d outside job layout (%d rows)", e.Pos, len(rows))
+				return fatal
+			}
+			if rows[e.Pos] == nil {
+				filled++
+				if onRow != nil {
+					onRow(filled, jr.Rows)
+				}
+			}
+			rows[e.Pos] = e.Row
+			return nil
+		})
+		if done {
+			break
+		}
+		if fatal != nil {
+			return nil, fatal
+		}
+		if errors.Is(err, ErrNoJob) {
+			recs, _ := decodeRows(rows, filled, jr.Rows, false)
+			return recs, err
+		}
+		if ctx.Err() != nil {
+			return decodeRows(rows, filled, jr.Rows, false)
+		}
+		// The connection dropped mid-job (network blip, proxy timeout).
+		// The job survives client disconnects, so retry and resume from
+		// the next sequence number.
+		if !sleepCtx(ctx, 100*time.Millisecond) {
+			return decodeRows(rows, filled, jr.Rows, false)
+		}
+	}
+	if jobErr != nil {
+		recs, _ := decodeRows(rows, filled, jr.Rows, false)
+		return recs, jobErr
+	}
+	return decodeRows(rows, filled, jr.Rows, true)
+}
+
+// decodeRows turns the positioned raw rows into records. When complete,
+// every position must be filled; otherwise the filled prefix-in-order
+// subset is returned with the ctx error that interrupted collection.
+func decodeRows(rows []json.RawMessage, filled, total int, complete bool) ([]sweep.Record, error) {
+	if complete && filled != total {
+		return nil, fmt.Errorf("serve: job finished with %d of %d rows delivered", filled, total)
+	}
+	recs := make([]sweep.Record, 0, filled)
+	for _, row := range rows {
+		if row == nil {
+			continue
+		}
+		var rec sweep.Record
+		if err := json.Unmarshal(row, &rec); err != nil {
+			return nil, fmt.Errorf("serve: decode record: %w", err)
+		}
+		recs = append(recs, rec)
+	}
+	if !complete {
+		return recs, context.Canceled
+	}
+	return recs, nil
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}

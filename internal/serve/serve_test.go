@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// smokeGrids is the distributed acceptance suite: 13 points spanning
+// workloads, predictors, PBS on/off, filtering, seed-sharded aggregates
+// and warm-prefix groups — the service-side analogue of the 13-config
+// golden grid. Budgets keep each run small; identity, not magnitude, is
+// what the test pins.
+func smokeGrids() []sweep.Grid {
+	return []sweep.Grid{
+		{ // 8 points: 2 workloads × 2 predictors × PBS on/off
+			Workloads:  []string{"PI", "DOP"},
+			Predictors: []sim.PredictorKind{sim.PredTAGESCL, sim.PredTournament},
+			PBS:        []bool{false, true},
+			Seeds:      []uint64{1},
+			MaxInstrs:  60_000,
+		},
+		{ // 2 points: predictor-filter interference on and off
+			Workloads:  []string{"MC-integ"},
+			Seeds:      []uint64{23},
+			FilterProb: []bool{false, true},
+			MaxInstrs:  60_000,
+		},
+		{ // 1 aggregate point: per-seed shards + mean/CI row
+			Workloads:  []string{"Genetic"},
+			Seeds:      []uint64{3, 5, 7},
+			ShardSeeds: true,
+			PBS:        []bool{true},
+			MaxInstrs:  60_000,
+		},
+		{ // 2 points differing only in timing axes: one shared warm prefix
+			Workloads:  []string{"PI"},
+			Predictors: []sim.PredictorKind{sim.PredTAGESCL, sim.PredTournament},
+			Seeds:      []uint64{11},
+			WarmPrefix: 20_000,
+			MaxInstrs:  80_000,
+		},
+	}
+}
+
+// batchOutputs runs the grids on the in-process engine and serializes
+// each with both writers.
+func batchOutputs(t *testing.T, grids []sweep.Grid) (jsons, csvs [][]byte) {
+	t.Helper()
+	eng := sweep.NewEngine()
+	for _, g := range grids {
+		res, err := eng.Run(context.Background(), g)
+		if err != nil {
+			t.Fatalf("batch run: %v", err)
+		}
+		var j, c bytes.Buffer
+		if err := res.WriteJSON(&j); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.WriteCSV(&c); err != nil {
+			t.Fatal(err)
+		}
+		jsons = append(jsons, j.Bytes())
+		csvs = append(csvs, c.Bytes())
+	}
+	return jsons, csvs
+}
+
+// startServer wires a Server over httptest and returns it with its
+// client-facing base URL.
+func startServer(t *testing.T, srv *Server) (*httptest.Server, string) {
+	t.Helper()
+	hs := httptest.NewServer(srv.Handler())
+	t.Cleanup(hs.Close)
+	return hs, hs.URL
+}
+
+// startWorkers launches n pull workers against the server and returns a
+// stop function that shuts them down and waits for them to exit.
+func startWorkers(t *testing.T, base string, n int) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	progs := sweep.NewProgramCache()
+	for i := range n {
+		w := &Worker{Server: base, Name: fmt.Sprintf("w%d", i), Programs: progs, Poll: 5 * time.Millisecond}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.Run(ctx)
+		}()
+	}
+	stop = func() {
+		cancel()
+		wg.Wait()
+	}
+	t.Cleanup(stop)
+	return stop
+}
+
+// TestServeMatchesBatch is the acceptance smoke: one server, two
+// workers, the 13-point grid suite — every job's reassembled stream
+// must serialize byte-identically (JSON and CSV) to the in-process
+// batch engine, each record streamed exactly once. It also pins the
+// cluster-wide warm singleflight: the warm-prefix group's checkpoint is
+// built exactly once across both workers.
+func TestServeMatchesBatch(t *testing.T) {
+	grids := smokeGrids()
+	wantJSON, wantCSV := batchOutputs(t, grids)
+
+	var logMu sync.Mutex
+	warmBuilds := 0
+	srv := NewServer(NewMemStore())
+	srv.RetryMS = 5
+	srv.Logf = func(format string, args ...any) {
+		if strings.HasPrefix(format, "serve: warm build") && !strings.Contains(format, "failed") {
+			logMu.Lock()
+			warmBuilds++
+			logMu.Unlock()
+		}
+	}
+	_, base := startServer(t, srv)
+	startWorkers(t, base, 2)
+
+	c := &Client{Server: base}
+	for i, g := range grids {
+		seen := make(map[int]bool)
+		recs, err := c.Collect(context.Background(), g, func(done, total int) {
+			if seen[done] {
+				t.Errorf("grid %d: progress %d reported twice (duplicate row delivery)", i, done)
+			}
+			seen[done] = true
+		})
+		if err != nil {
+			t.Fatalf("grid %d: %v", i, err)
+		}
+		var j, cv bytes.Buffer
+		if err := sweep.WriteRecordsJSON(&j, recs); err != nil {
+			t.Fatal(err)
+		}
+		if err := sweep.WriteRecordsCSV(&cv, recs); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(j.Bytes(), wantJSON[i]) {
+			t.Errorf("grid %d: streamed JSON differs from batch engine output\n serve: %s\n batch: %s",
+				i, firstDiff(j.Bytes(), wantJSON[i]), "")
+		}
+		if !bytes.Equal(cv.Bytes(), wantCSV[i]) {
+			t.Errorf("grid %d: streamed CSV differs from batch engine output\n%s", i, firstDiff(cv.Bytes(), wantCSV[i]))
+		}
+	}
+
+	logMu.Lock()
+	defer logMu.Unlock()
+	if warmBuilds != 1 {
+		t.Errorf("warm prefix built %d times across the cluster, want exactly 1", warmBuilds)
+	}
+}
+
+// firstDiff renders the first divergent region of two byte strings.
+func firstDiff(a, b []byte) string {
+	n := min(len(a), len(b))
+	for i := range n {
+		if a[i] != b[i] {
+			lo := max(0, i-80)
+			return fmt.Sprintf("at byte %d:\n  got  ...%q\n  want ...%q", i, a[lo:min(len(a), i+80)], b[lo:min(len(b), i+80)])
+		}
+	}
+	return fmt.Sprintf("length %d vs %d", len(a), len(b))
+}
+
+// TestResubmitServesFromStore checks the dedup layer at rest: after a
+// grid completes, re-submitting an overlapping grid is answered
+// entirely from the content-addressed store — no worker attached, and
+// the records still match the batch engine's bytes.
+func TestResubmitServesFromStore(t *testing.T) {
+	g := sweep.Grid{Workloads: []string{"PI"}, Seeds: []uint64{1, 2}, MaxInstrs: 50_000}
+	wantJSON, _ := batchOutputs(t, []sweep.Grid{g})
+
+	srv := NewServer(NewMemStore())
+	srv.RetryMS = 5
+	_, base := startServer(t, srv)
+	stop := startWorkers(t, base, 1)
+
+	c := &Client{Server: base}
+	if _, err := c.Collect(context.Background(), g, nil); err != nil {
+		t.Fatal(err)
+	}
+	stop() // no workers from here on
+
+	// The overlap: one seed already computed, plus the whole original.
+	jr, err := c.Submit(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Cached != 2 || jr.Runs != 0 {
+		t.Errorf("resubmit scheduled work: cached %d, runs %d; want 2, 0", jr.Cached, jr.Runs)
+	}
+	recs, err := c.Collect(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("resubmit with no workers: %v", err)
+	}
+	var j bytes.Buffer
+	if err := sweep.WriteRecordsJSON(&j, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j.Bytes(), wantJSON[0]) {
+		t.Errorf("store-served records differ from batch output\n%s", firstDiff(j.Bytes(), wantJSON[0]))
+	}
+}
+
+// TestServerRestartServesFromStore checks persistence: a fresh server
+// process over the same store directory answers a previously computed
+// grid without any worker.
+func TestServerRestartServesFromStore(t *testing.T) {
+	dir := t.TempDir()
+	g := sweep.Grid{Workloads: []string{"PI"}, Seeds: []uint64{5}, MaxInstrs: 50_000}
+	wantJSON, _ := batchOutputs(t, []sweep.Grid{g})
+
+	store1, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := NewServer(store1)
+	srv1.RetryMS = 5
+	hs1, base1 := startServer(t, srv1)
+	stop := startWorkers(t, base1, 1)
+	if _, err := (&Client{Server: base1}).Collect(context.Background(), g, nil); err != nil {
+		t.Fatal(err)
+	}
+	stop()
+	hs1.Close()
+
+	store2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2 := NewServer(store2)
+	_, base2 := startServer(t, srv2)
+	recs, err := (&Client{Server: base2}).Collect(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("restarted server with no workers: %v", err)
+	}
+	var j bytes.Buffer
+	if err := sweep.WriteRecordsJSON(&j, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j.Bytes(), wantJSON[0]) {
+		t.Errorf("restart-served records differ from batch output\n%s", firstDiff(j.Bytes(), wantJSON[0]))
+	}
+}
+
+// TestStoreRoundTrip covers the store's basics: immutability, zero-byte
+// entries (the warm "run cold" marker), persistence across reopen.
+func TestStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Addr("result", "x")
+	if _, ok := s.Get(a); ok {
+		t.Error("empty store reported a hit")
+	}
+	if err := s.Put(a, []byte("one")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(a, []byte("two")); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := s.Get(a); !ok || string(data) != "one" {
+		t.Errorf("entry not immutable: %q, %v", data, ok)
+	}
+	cold := Addr("warm", "x")
+	if err := s.Put(cold, nil); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := s.Get(cold); !ok || len(data) != 0 {
+		t.Errorf("zero-byte entry lost: %q, %v", data, ok)
+	}
+
+	re, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := re.Get(a); !ok || string(data) != "one" {
+		t.Errorf("entry did not persist across reopen: %q, %v", data, ok)
+	}
+	if data, ok := re.Get(cold); !ok || len(data) != 0 {
+		t.Errorf("zero-byte entry did not persist: %q, %v", data, ok)
+	}
+	if Addr("result", "x") == Addr("warm", "x") {
+		t.Error("address namespaces collide")
+	}
+}

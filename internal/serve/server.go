@@ -1,0 +1,658 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Server is the sweep job coordinator. It owns no simulation: grids
+// submitted by clients expand into single-seed runs that pull-based
+// workers lease, execute and complete, and the server merges completed
+// results back into jobs — including the per-seed shard merge of
+// aggregate points — exactly as the in-process engine would.
+//
+// Deduplication happens at two layers. In flight, runs are singleflight
+// by content address: points shared by concurrent jobs (or repeated
+// within one job's seed set) attach as waiters to one run and all
+// receive its result. At rest, completed results persist in the Store,
+// so a re-submitted or overlapping grid is answered at submission time
+// without touching the pool.
+//
+// Failure semantics mirror the engine's first-error abort, scoped per
+// job: a worker-reported error fails every job waiting on that run,
+// cancels the jobs' other pending runs, and answers subsequent renewals
+// of their in-flight leases with StatusGone so workers abandon them
+// mid-point. A lease that is neither renewed nor completed within its
+// TTL is reclaimed and the point re-leased — worker loss delays a job,
+// never wedges it.
+type Server struct {
+	// LeaseTTL is the worker lease deadline (renewals reset it). The
+	// zero value means 30s.
+	LeaseTTL time.Duration
+	// RetryMS is the poll interval the server suggests to idle workers
+	// and warm-checkpoint waiters. The zero value means 100ms.
+	RetryMS int64
+	// Logf, when set, receives one line per protocol event.
+	Logf func(format string, args ...any)
+
+	store *Store
+	now   func() time.Time // test seam; time.Now otherwise
+
+	mu        sync.Mutex
+	jobs      map[string]*job
+	runs      map[string]*run // live (pending or leased) runs by address
+	queue     []*run          // FIFO of pending runs; may hold stale entries
+	leases    map[uint64]*run
+	warm      map[string]*warmSlot // in-flight warm builds by address
+	nextJob   uint64
+	nextLease uint64
+	nextToken uint64
+	draining  bool
+}
+
+// NewServer returns a server backed by the given store (which may be
+// memory-only, see NewMemStore).
+func NewServer(store *Store) *Server {
+	return &Server{
+		store:  store,
+		now:    time.Now,
+		jobs:   make(map[string]*job),
+		runs:   make(map[string]*run),
+		leases: make(map[uint64]*run),
+		warm:   make(map[string]*warmSlot),
+	}
+}
+
+// taskRef names one output slot of a job: pointIdx indexes the job's
+// points, shardIdx the seed within a sharded point (-1 for a plain
+// single-seed point).
+type taskRef struct {
+	job      *job
+	pointIdx int
+	shardIdx int
+}
+
+const (
+	runPending = iota
+	runLeased
+	runDone
+)
+
+// run is the unit of leasing: one executable single-seed point, plus
+// every job output slot waiting on it. Runs are singleflight by
+// address — a point two jobs need executes once.
+type run struct {
+	addr     string
+	point    sweep.Point
+	state    int
+	lease    uint64
+	deadline time.Time
+	waiters  []taskRef
+}
+
+// warmSlot tracks an in-flight warm-prefix build. Completed warm
+// checkpoints live in the store (a zero-length entry means "halted
+// inside the prefix: run cold"), so slots exist only between handing a
+// build to a worker and its upload. A slot whose deadline passes is
+// rebuilt by the next requester; should the original build still land,
+// it is accepted anyway — checkpoints are deterministic bytes, so
+// duplicate builders are wasteful, never wrong.
+type warmSlot struct {
+	token    uint64
+	deadline time.Time
+}
+
+// job is one submitted grid: its expanded points, the layout of its
+// output rows, partial results, and the append-only stream log.
+type job struct {
+	id        string
+	points    []sweep.Point
+	seedsOf   [][]uint64      // per point; nil for single-seed points
+	rowBase   []int           // first output row of each point
+	shardSims [][]*sim.Result // per sharded point, by seed index
+	totalRows int
+	rowsLeft  int
+	log       []StreamEntry
+	notify    chan struct{} // closed and replaced on every append
+	finished  bool
+	errmsg    string
+}
+
+// Handler returns the server's HTTP interface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/renew", s.handleRenew)
+	mux.HandleFunc("POST /v1/complete", s.handleComplete)
+	mux.HandleFunc("POST /v1/warm", s.handleWarm)
+	mux.HandleFunc("POST /v1/warm/complete", s.handleWarmComplete)
+	return mux
+}
+
+// Drain stops leasing new work and waits for every outstanding lease to
+// complete, expire, or be cancelled — the graceful-shutdown path
+// cmd/pbsweep's serve mode takes on SIGINT/SIGTERM.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	for {
+		s.mu.Lock()
+		s.reclaim(s.now())
+		n := len(s.leases)
+		s.mu.Unlock()
+		if n == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+func (s *Server) leaseTTL() time.Duration {
+	if s.LeaseTTL > 0 {
+		return s.LeaseTTL
+	}
+	return 30 * time.Second
+}
+
+func (s *Server) retryMS() int64 {
+	if s.RetryMS > 0 {
+		return s.RetryMS
+	}
+	return 100
+}
+
+// handleSubmit expands a grid into a job. Store hits resolve
+// immediately (their rows stream before the response returns); misses
+// attach to singleflight runs, enqueueing new ones.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("serve: bad job request: %v", err), http.StatusBadRequest)
+		return
+	}
+	if req.Grid.CaptureProb {
+		// Captured value streams are large and deliberately excluded from
+		// memoization in-process; a shared store must not carry them
+		// either. Table III runs stay on the batch engine.
+		http.Error(w, "serve: capture_prob grids are batch-only (value streams are not served)", http.StatusBadRequest)
+		return
+	}
+	pts, err := req.Grid.Points()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(pts) == 0 {
+		http.Error(w, "serve: grid expanded to no runnable points", http.StatusBadRequest)
+		return
+	}
+
+	j := &job{
+		points:  pts,
+		seedsOf: make([][]uint64, len(pts)),
+		rowBase: make([]int, len(pts)),
+		notify:  make(chan struct{}),
+	}
+	j.shardSims = make([][]*sim.Result, len(pts))
+	for i, p := range pts {
+		j.rowBase[i] = j.totalRows
+		if !p.Sharded() {
+			j.totalRows++
+			continue
+		}
+		seeds := p.Key.Seeds.Seeds()
+		if len(seeds) == 0 {
+			http.Error(w, fmt.Sprintf("serve: point %s has a malformed seed set", p), http.StatusBadRequest)
+			return
+		}
+		j.seedsOf[i] = seeds
+		j.shardSims[i] = make([]*sim.Result, len(seeds))
+		j.totalRows += len(seeds) + 1 // per-seed rows, then the aggregate row
+	}
+	j.rowsLeft = j.totalRows
+
+	// Resolve each executable unit: hit the store or join a run. Hits
+	// are collected first and delivered after the job is fully built, so
+	// their rows stream in deterministic point order.
+	type hit struct {
+		ref taskRef
+		res *sim.Result
+	}
+	var hits []hit
+	cached, scheduled := 0, 0
+	s.mu.Lock()
+	s.nextJob++
+	j.id = "j" + strconv.FormatUint(s.nextJob, 10)
+	unit := func(p sweep.Point, ref taskRef) {
+		addr := Addr("result", p.Canonical())
+		if data, ok := s.store.Get(addr); ok && len(data) > 0 {
+			var pr PointResult
+			if err := json.Unmarshal(data, &pr); err == nil {
+				hits = append(hits, hit{ref, pr.simResult()})
+				cached++
+				return
+			}
+			// A corrupt store entry falls through and re-simulates.
+		}
+		scheduled++
+		ru := s.runs[addr]
+		if ru == nil || ru.state == runDone {
+			ru = &run{addr: addr, point: p, state: runPending}
+			s.runs[addr] = ru
+			s.queue = append(s.queue, ru)
+		}
+		ru.waiters = append(ru.waiters, ref)
+	}
+	for i, p := range pts {
+		if !p.Sharded() {
+			unit(p, taskRef{j, i, -1})
+			continue
+		}
+		for si, seed := range j.seedsOf[i] {
+			unit(p.Shard(seed), taskRef{j, i, si})
+		}
+	}
+	s.jobs[j.id] = j
+	for _, h := range hits {
+		s.deliver(h.ref, h.res)
+	}
+	if j.rowsLeft == 0 && !j.finished {
+		s.finishJob(j, "")
+	}
+	s.mu.Unlock()
+	s.logf("serve: job %s: %d points, %d rows, %d cached, %d scheduled", j.id, len(pts), j.totalRows, cached, scheduled)
+
+	writeJSON(w, JobResponse{ID: j.id, Rows: j.totalRows, Points: len(pts), Cached: cached, Runs: scheduled})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	var st JobStatus
+	if j != nil {
+		st = JobStatus{ID: j.id, Rows: j.totalRows, Emitted: len(j.log), Done: j.finished, Error: j.errmsg}
+	}
+	s.mu.Unlock()
+	if j == nil {
+		http.Error(w, "serve: no such job", http.StatusNotFound)
+		return
+	}
+	writeJSON(w, st)
+}
+
+// handleStream replays a job's log from the requested sequence number
+// as NDJSON and then follows it live, flushing per entry, until the
+// terminal Done entry is sent or the client goes away. A disconnect
+// affects only this stream: the job runs on, and a reconnect with
+// from=<next seq> resumes exactly-once delivery.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if j == nil {
+		http.Error(w, "serve: no such job", http.StatusNotFound)
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "serve: bad from", http.StatusBadRequest)
+			return
+		}
+		from = v
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	fl, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	next := from
+	for {
+		s.mu.Lock()
+		var batch []StreamEntry
+		if next < len(j.log) {
+			batch = j.log[next:len(j.log):len(j.log)]
+		}
+		finished := j.finished
+		notify := j.notify
+		s.mu.Unlock()
+		for _, e := range batch {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+			next++
+			if e.Done {
+				if fl != nil {
+					fl.Flush()
+				}
+				return
+			}
+		}
+		if fl != nil && len(batch) > 0 {
+			fl.Flush()
+		}
+		if finished {
+			// The caller already consumed the terminal entry in an earlier
+			// stream; nothing more will ever arrive.
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.reclaim(now)
+	var ru *run
+	if !s.draining {
+		for len(s.queue) > 0 {
+			cand := s.queue[0]
+			s.queue = s.queue[1:]
+			if cand.state != runPending || len(cand.waiters) == 0 {
+				continue // reclaimed elsewhere, cancelled, or already done
+			}
+			ru = cand
+			break
+		}
+	}
+	if ru == nil {
+		s.mu.Unlock()
+		writeJSON(w, LeaseResponse{Status: StatusIdle, RetryMS: s.retryMS()})
+		return
+	}
+	ru.state = runLeased
+	s.nextLease++
+	ru.lease = s.nextLease
+	ru.deadline = now.Add(s.leaseTTL())
+	s.leases[ru.lease] = ru
+	point := ru.point
+	lease := ru.lease
+	s.mu.Unlock()
+	s.logf("serve: lease %d -> %s (%s)", lease, point, req.Worker)
+	writeJSON(w, LeaseResponse{Status: StatusPoint, Lease: lease, Point: &point, TTLMS: s.leaseTTL().Milliseconds()})
+}
+
+func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
+	var req RenewRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.reclaim(now)
+	ru := s.leases[req.Lease]
+	// A run whose every waiter vanished (all its jobs failed) is
+	// cancelled: tell the worker to stop burning cycles on it.
+	if ru == nil || len(ru.waiters) == 0 {
+		s.mu.Unlock()
+		writeJSON(w, RenewResponse{Status: StatusGone})
+		return
+	}
+	ru.deadline = now.Add(s.leaseTTL())
+	s.mu.Unlock()
+	writeJSON(w, RenewResponse{Status: StatusOK, TTLMS: s.leaseTTL().Milliseconds()})
+}
+
+func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Error == "" && req.Result == nil {
+		http.Error(w, "serve: completion carries neither result nor error", http.StatusBadRequest)
+		return
+	}
+	addr := Addr("result", req.Point.Canonical())
+	s.mu.Lock()
+	ru := s.leases[req.Lease]
+	if ru == nil || ru.addr != addr {
+		// The lease expired (and may have been re-leased) or its job was
+		// cancelled. The result is still a valid, deterministic completion
+		// of the point, so accept it by address if the run is still live.
+		ru = s.runs[addr]
+	} else {
+		delete(s.leases, req.Lease)
+	}
+	if ru == nil || ru.state == runDone {
+		s.mu.Unlock()
+		// Persist even an orphaned success: the work is done, let the
+		// store remember it.
+		if req.Error == "" && req.Result != nil {
+			if data, err := json.Marshal(req.Result); err == nil {
+				s.store.Put(addr, data)
+			}
+		}
+		writeJSON(w, CompleteResponse{Status: StatusGone})
+		return
+	}
+	if ru.lease != 0 {
+		delete(s.leases, ru.lease)
+		ru.lease = 0
+	}
+	ru.state = runDone
+	delete(s.runs, ru.addr)
+	waiters := ru.waiters
+	ru.waiters = nil
+	if req.Error != "" {
+		msg := fmt.Sprintf("%s: %s", ru.point, req.Error)
+		for _, ref := range waiters {
+			s.failJob(ref.job, msg)
+		}
+		s.mu.Unlock()
+		s.logf("serve: run %s failed: %s", ru.point, req.Error)
+		writeJSON(w, CompleteResponse{Status: StatusOK})
+		return
+	}
+	if data, err := json.Marshal(req.Result); err == nil {
+		s.store.Put(ru.addr, data)
+	}
+	res := req.Result.simResult()
+	for _, ref := range waiters {
+		s.deliver(ref, res)
+	}
+	s.mu.Unlock()
+	writeJSON(w, CompleteResponse{Status: StatusOK})
+}
+
+func (s *Server) handleWarm(w http.ResponseWriter, r *http.Request) {
+	var req WarmRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	addr := Addr("warm", req.Point.Canonical())
+	if data, ok := s.store.Get(addr); ok {
+		if len(data) == 0 {
+			writeJSON(w, WarmResponse{Status: StatusCold})
+		} else {
+			writeJSON(w, WarmResponse{Status: StatusReady, Data: data})
+		}
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	slot := s.warm[addr]
+	if slot != nil && now.Before(slot.deadline) {
+		s.mu.Unlock()
+		writeJSON(w, WarmResponse{Status: StatusWait, RetryMS: s.retryMS()})
+		return
+	}
+	// No build in flight (or the builder's deadline lapsed): hand the
+	// build to this requester.
+	s.nextToken++
+	token := s.nextToken
+	s.warm[addr] = &warmSlot{token: token, deadline: now.Add(s.leaseTTL())}
+	s.mu.Unlock()
+	s.logf("serve: warm build %s -> token %d", req.Point, token)
+	writeJSON(w, WarmResponse{Status: StatusBuild, Token: token})
+}
+
+func (s *Server) handleWarmComplete(w http.ResponseWriter, r *http.Request) {
+	var req WarmCompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	addr := Addr("warm", req.Point.Canonical())
+	s.mu.Lock()
+	slot := s.warm[addr]
+	// Accept any upload, current token or stale: checkpoints are
+	// deterministic, so every builder of this warm point produced the
+	// same bytes. Errors just clear the slot; the next requester
+	// retries the build (and its point will carry the error to its job
+	// if the failure is real).
+	if slot != nil {
+		delete(s.warm, addr)
+	}
+	s.mu.Unlock()
+	switch {
+	case req.Error != "":
+		s.logf("serve: warm build %s failed: %s", req.Point, req.Error)
+	case req.Halted:
+		s.store.Put(addr, nil)
+	default:
+		s.store.Put(addr, req.Data)
+	}
+	writeJSON(w, CompleteResponse{Status: StatusOK})
+}
+
+// reclaim (mu held) returns expired leases to the queue, or drops them
+// entirely when every waiter's job has since failed.
+func (s *Server) reclaim(now time.Time) {
+	for id, ru := range s.leases {
+		if !ru.deadline.Before(now) {
+			continue
+		}
+		delete(s.leases, id)
+		ru.lease = 0
+		if len(ru.waiters) == 0 {
+			ru.state = runDone
+			delete(s.runs, ru.addr)
+			continue
+		}
+		s.logf("serve: lease %d on %s expired; re-queueing", id, ru.point)
+		ru.state = runPending
+		s.queue = append(s.queue, ru)
+	}
+}
+
+// deliver (mu held) records one completed unit in a job, emitting its
+// row — and, when it completes a sharded point's seed set, the merged
+// aggregate row — and finishing the job when every row is out.
+func (s *Server) deliver(ref taskRef, res *sim.Result) {
+	j := ref.job
+	if j.finished {
+		return
+	}
+	p := j.points[ref.pointIdx]
+	if ref.shardIdx < 0 {
+		s.emitRow(j, j.rowBase[ref.pointIdx], sweep.Result{Point: p, Sim: res}.Record())
+	} else {
+		seeds := j.seedsOf[ref.pointIdx]
+		j.shardSims[ref.pointIdx][ref.shardIdx] = res
+		s.emitRow(j, j.rowBase[ref.pointIdx]+ref.shardIdx, sweep.Result{Point: p.Shard(seeds[ref.shardIdx]), Sim: res}.Record())
+		complete := true
+		for _, sr := range j.shardSims[ref.pointIdx] {
+			if sr == nil {
+				complete = false
+				break
+			}
+		}
+		if complete {
+			agg := sweep.NewAggregate(seeds, j.shardSims[ref.pointIdx])
+			s.emitRow(j, j.rowBase[ref.pointIdx]+len(seeds), sweep.Result{Point: p, Agg: agg}.Record())
+		}
+	}
+	if j.rowsLeft == 0 {
+		s.finishJob(j, "")
+	}
+}
+
+// emitRow (mu held) appends one record row to the job's stream log.
+func (s *Server) emitRow(j *job, pos int, rec sweep.Record) {
+	row, err := json.Marshal(rec)
+	if err != nil {
+		// A Record is a plain struct of scalars; marshal cannot fail.
+		// Keep the job consistent anyway.
+		s.failJob(j, fmt.Sprintf("marshal record: %v", err))
+		return
+	}
+	j.log = append(j.log, StreamEntry{Seq: len(j.log), Pos: pos, Row: row})
+	j.rowsLeft--
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// finishJob (mu held) appends the terminal stream entry.
+func (s *Server) finishJob(j *job, errmsg string) {
+	if j.finished {
+		return
+	}
+	j.finished = true
+	j.errmsg = errmsg
+	j.log = append(j.log, StreamEntry{Seq: len(j.log), Done: true, Rows: j.totalRows, Err: errmsg})
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// failJob (mu held) fails a job and cancels its share of outstanding
+// work: pending runs it alone was waiting on are dropped, and leased
+// runs left without waiters answer their next renewal with StatusGone.
+func (s *Server) failJob(j *job, errmsg string) {
+	if j.finished {
+		return
+	}
+	s.finishJob(j, errmsg)
+	for addr, ru := range s.runs {
+		kept := ru.waiters[:0]
+		for _, ref := range ru.waiters {
+			if ref.job != j {
+				kept = append(kept, ref)
+			}
+		}
+		ru.waiters = kept
+		if len(ru.waiters) == 0 && ru.state == runPending {
+			ru.state = runDone
+			delete(s.runs, addr)
+		}
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

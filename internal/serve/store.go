@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Addr computes the content address of a blob: the SHA-256 of its
+// namespaced canonical identity, hex-encoded. The preimage is the
+// authoritative identity, not the blob bytes — a simulation result is
+// addressed by the canonical form of the point that produced it
+// (sweep.Point.Canonical), which is well-defined before the result
+// exists, so overlapping grids from different clients resolve to the
+// same address and hit the cache instead of the worker pool. The kind
+// prefix ("result", "warm") keeps result and warm-checkpoint spaces
+// disjoint even for coincidentally equal canonical strings.
+func Addr(kind, canonical string) string {
+	h := sha256.Sum256([]byte(kind + "\x00" + canonical))
+	return hex.EncodeToString(h[:])
+}
+
+// Store is the content-addressed blob store behind the sweep service:
+// completed point results and warm-prefix checkpoints land here keyed
+// by Addr. Entries are immutable — simulation is deterministic, so two
+// writers of one address always carry identical-meaning bytes and the
+// first write wins. With a backing directory every entry is also
+// persisted (one file per address, written atomically), so a restarted
+// server serves memoized results without re-simulating; with dir == ""
+// the store is memory-only. Safe for concurrent use.
+type Store struct {
+	dir string
+	mu  sync.Mutex
+	mem map[string][]byte
+}
+
+// OpenStore opens (creating if needed) a store backed by dir, or a
+// memory-only store when dir is empty.
+func OpenStore(dir string) (*Store, error) {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: open store: %w", err)
+		}
+	}
+	return &Store{dir: dir, mem: make(map[string][]byte)}, nil
+}
+
+// NewMemStore returns a memory-only store.
+func NewMemStore() *Store {
+	s, _ := OpenStore("")
+	return s
+}
+
+// Get returns the blob at addr. Callers must treat the bytes as
+// read-only; they are shared. A zero-length blob is a valid entry (the
+// warm-prefix protocol stores one to mean "the program halted inside
+// the prefix; run cold").
+func (s *Store) Get(addr string) ([]byte, bool) {
+	s.mu.Lock()
+	data, ok := s.mem[addr]
+	s.mu.Unlock()
+	if ok {
+		return data, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(filepath.Join(s.dir, addr))
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	// First reader wins so every caller shares one slice.
+	if prev, ok := s.mem[addr]; ok {
+		data = prev
+	} else {
+		s.mem[addr] = data
+	}
+	s.mu.Unlock()
+	return data, true
+}
+
+// Put stores the blob at addr. An existing entry is left untouched
+// (entries are immutable and writers of one address are interchangeable,
+// see Store). The write to the backing directory is atomic — a crashed
+// server never leaves a torn entry for its successor to trust.
+func (s *Store) Put(addr string, data []byte) error {
+	s.mu.Lock()
+	if _, ok := s.mem[addr]; ok {
+		s.mu.Unlock()
+		return nil
+	}
+	s.mem[addr] = data
+	s.mu.Unlock()
+	if s.dir == "" {
+		return nil
+	}
+	path := filepath.Join(s.dir, addr)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.dir, "put-*")
+	if err != nil {
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store put: %w", err)
+	}
+	return nil
+}
+
+// Len reports the number of entries resident in memory (not the backing
+// directory's population); it exists for tests and stats.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}

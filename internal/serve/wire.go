@@ -1,0 +1,213 @@
+// Package serve promotes the batch sweep engine (internal/sweep) to a
+// long-lived, multi-host service: a job server that accepts grid
+// specifications over HTTP/JSON, expands them into point specs, leases
+// the resulting single-seed runs to pull-based workers with deadlines
+// and automatic re-lease on worker loss, and merges completed results —
+// per-seed shards and warm-prefix groups included — through the exact
+// semantics of the in-process engine. Completed results land in a
+// content-addressed store keyed by the canonical sweep point, so
+// overlapping grids from any number of clients simulate each distinct
+// point once cluster-wide, and clients watch their grid fill in live
+// over a chunked NDJSON stream whose rows are byte-identical to the
+// batch engine's records.
+//
+// The package exposes three roles: Server (the coordinator; owns no
+// simulation), Worker (a pull-based executor; any number may attach),
+// and Client (submits grids and reassembles streams). cmd/pbsweep
+// surfaces them as the serve and worker subcommands and the -server
+// client mode. See DESIGN.md §8 for the protocol and its determinism
+// argument.
+package serve
+
+import (
+	"encoding/json"
+
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// Protocol statuses. Every response names its outcome explicitly rather
+// than overloading HTTP codes, so workers can switch on one field.
+const (
+	// StatusPoint (lease): the response carries a leased point to run.
+	StatusPoint = "point"
+	// StatusIdle (lease): no work right now; retry after RetryMS.
+	StatusIdle = "idle"
+	// StatusOK (renew, complete, warm-complete): accepted.
+	StatusOK = "ok"
+	// StatusGone (renew, complete): the lease no longer exists — expired
+	// and reclaimed, or its job was cancelled. The worker abandons the
+	// point; the server has already arranged for it to run elsewhere or
+	// not at all.
+	StatusGone = "gone"
+	// StatusReady (warm): the response carries the group's checkpoint.
+	StatusReady = "ready"
+	// StatusBuild (warm): the requester should run the prefix itself and
+	// upload the checkpoint under Token.
+	StatusBuild = "build"
+	// StatusWait (warm): another worker is building; retry after RetryMS.
+	StatusWait = "wait"
+	// StatusCold (warm): the program halts inside the prefix; there is no
+	// shared suffix, run the point cold.
+	StatusCold = "cold"
+)
+
+// JobRequest submits a grid: POST /v1/jobs.
+type JobRequest struct {
+	Grid sweep.Grid `json:"grid"`
+}
+
+// JobResponse describes an accepted job. Rows is the exact number of
+// output records the job will stream (per-seed rows plus one aggregate
+// row per sharded point), fixed at submission — every streamed row
+// carries its final position in [0, Rows).
+type JobResponse struct {
+	ID     string `json:"id"`
+	Rows   int    `json:"rows"`
+	Points int    `json:"points"`
+	// Cached counts the runs answered from the content-addressed store at
+	// submission, without touching the worker pool.
+	Cached int `json:"cached"`
+	// Runs counts the runs scheduled for workers.
+	Runs int `json:"runs"`
+}
+
+// JobStatus reports a job's progress: GET /v1/jobs/{id}.
+type JobStatus struct {
+	ID      string `json:"id"`
+	Rows    int    `json:"rows"`
+	Emitted int    `json:"emitted"`
+	Done    bool   `json:"done"`
+	Error   string `json:"error,omitempty"`
+}
+
+// LeaseRequest asks for work: POST /v1/lease. Worker names the
+// requester for logs only; it carries no semantics.
+type LeaseRequest struct {
+	Worker string `json:"worker,omitempty"`
+}
+
+// LeaseResponse answers a lease request. With StatusPoint, Point is the
+// single-seed point spec to run, Lease the handle for renew/complete,
+// and TTLMS the lease deadline — the worker must renew (or complete)
+// within it or the server re-leases the point to another worker.
+type LeaseResponse struct {
+	Status  string       `json:"status"`
+	Lease   uint64       `json:"lease,omitempty"`
+	Point   *sweep.Point `json:"point,omitempty"`
+	TTLMS   int64        `json:"ttl_ms,omitempty"`
+	RetryMS int64        `json:"retry_ms,omitempty"`
+}
+
+// RenewRequest extends a lease: POST /v1/renew.
+type RenewRequest struct {
+	Lease uint64 `json:"lease"`
+}
+
+// RenewResponse answers a renewal: StatusOK with a fresh TTL, or
+// StatusGone when the lease was reclaimed or its job cancelled — the
+// job-level cancellation broadcast that replaces the in-process
+// engine's first-error abort.
+type RenewResponse struct {
+	Status string `json:"status"`
+	TTLMS  int64  `json:"ttl_ms,omitempty"`
+}
+
+// CompleteRequest reports a finished run: POST /v1/complete. Exactly
+// one of Result and Error is set. Point re-identifies the run so a
+// result that arrives after its lease expired (the worker stalled but
+// survived) is still accepted — results are deterministic, so any
+// completion of a point is as good as any other.
+type CompleteRequest struct {
+	Lease  uint64       `json:"lease"`
+	Point  sweep.Point  `json:"point"`
+	Result *PointResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// CompleteResponse acknowledges a completion.
+type CompleteResponse struct {
+	Status string `json:"status"`
+}
+
+// WarmRequest asks for a warm-prefix group's functional checkpoint:
+// POST /v1/warm. Point is the canonical warm point
+// (sweep.Point.WarmPoint), the identity the server singleflights on.
+type WarmRequest struct {
+	Point sweep.Point `json:"point"`
+}
+
+// WarmResponse answers a warm request; see the warm statuses above.
+// Data is the serialized sim checkpoint (base64 in JSON).
+type WarmResponse struct {
+	Status  string `json:"status"`
+	Data    []byte `json:"data,omitempty"`
+	Token   uint64 `json:"token,omitempty"`
+	RetryMS int64  `json:"retry_ms,omitempty"`
+}
+
+// WarmCompleteRequest uploads a built warm checkpoint (or reports that
+// the build failed, or that the program halted inside the prefix):
+// POST /v1/warm/complete.
+type WarmCompleteRequest struct {
+	Point  sweep.Point `json:"point"`
+	Token  uint64      `json:"token"`
+	Data   []byte      `json:"data,omitempty"`
+	Halted bool        `json:"halted,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// StreamEntry is one line of a job's NDJSON stream: either a row entry
+// (Row non-nil, Pos its final position in the job's record order) or
+// the terminal entry (Done true, Error set if the job failed). Seq
+// numbers entries contiguously from 0; a client that reconnects with
+// from=<next seq> receives each entry exactly once.
+type StreamEntry struct {
+	Seq  int             `json:"seq"`
+	Pos  int             `json:"pos"`
+	Row  json.RawMessage `json:"row,omitempty"`
+	Done bool            `json:"done,omitempty"`
+	Rows int             `json:"rows,omitempty"`
+	Err  string          `json:"error,omitempty"`
+}
+
+// PointResult is the wire form of one completed simulation: exactly the
+// component stats structs a sim.Result carries, minus the program
+// pointer (workers and server share programs by building them, not by
+// shipping them) and the captured value streams (capture_prob grids are
+// batch-only; the server rejects them at submission).
+type PointResult struct {
+	Workload string           `json:"workload"`
+	Emu      emu.Stats        `json:"emu"`
+	Timing   pipeline.Metrics `json:"timing"`
+	PBS      core.Stats       `json:"pbs"`
+	Outputs  []uint64         `json:"outputs,omitempty"`
+}
+
+// wireResult flattens a sim.Result for the wire.
+func wireResult(r *sim.Result) *PointResult {
+	return &PointResult{
+		Workload: r.Workload,
+		Emu:      r.Emu,
+		Timing:   r.Timing,
+		PBS:      r.PBSStats,
+		Outputs:  r.Outputs,
+	}
+}
+
+// simResult rebuilds the sim.Result the record layer consumes. The
+// fields it carries are exactly those sweep's Record flattening reads,
+// so a record built from a wire result is byte-identical to one built
+// from the in-process original.
+func (pr *PointResult) simResult() *sim.Result {
+	return &sim.Result{
+		Workload: pr.Workload,
+		Emu:      pr.Emu,
+		Timing:   pr.Timing,
+		PBSStats: pr.PBS,
+		Outputs:  pr.Outputs,
+	}
+}

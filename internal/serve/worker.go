@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// runChunk is the RunFor granularity of a worker's simulations: coarse
+// enough that chunking cost vanishes (sessions retire the same stream
+// at any chunk size, see sim.Session.RunFor), fine enough that a lost
+// lease or worker shutdown aborts a point promptly.
+const runChunk = 1 << 18
+
+// Worker pulls leased points from a Server and executes them through
+// the same session path as the in-process engine: cached shared
+// programs, warm-prefix forking from the group checkpoint (fetched
+// from — or built once for — the server), and chunked runs that abort
+// when the lease is lost. A Worker runs one point at a time; start
+// several (sharing one ProgramCache) to use more cores.
+type Worker struct {
+	// Server is the base URL of the job server, e.g. "http://host:9571".
+	Server string
+	// Name identifies the worker in server logs.
+	Name string
+	// HTTP is the client used for every request; nil means a default
+	// with no overall timeout (streams and long polls need none).
+	HTTP *http.Client
+	// Programs caches assembled programs across points. Workers on one
+	// machine should share a cache; nil builds a private one.
+	Programs *sweep.ProgramCache
+	// SyncTiming forces every session onto the synchronous timing path.
+	// Results are identical either way (the async pipeline is pinned
+	// byte-identical); set it when co-located workers already saturate
+	// the machine, mirroring the engine's goroutine budget.
+	SyncTiming bool
+	// Poll is the idle re-poll interval floor; the zero value defers to
+	// the server's suggestion (or 100ms).
+	Poll time.Duration
+}
+
+// Run leases and executes points until ctx is cancelled or the server
+// becomes unreachable for longer than its lease TTL would tolerate.
+// Transient request failures retry with backoff.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Programs == nil {
+		w.Programs = sweep.NewProgramCache()
+	}
+	backoff := 50 * time.Millisecond
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lr LeaseResponse
+		if err := w.post(ctx, "/v1/lease", LeaseRequest{Worker: w.Name}, &lr); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			if !sleepCtx(ctx, backoff) {
+				return ctx.Err()
+			}
+			if backoff < 2*time.Second {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 50 * time.Millisecond
+		if lr.Status != StatusPoint || lr.Point == nil {
+			if !sleepCtx(ctx, w.idleDelay(lr.RetryMS)) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.execute(ctx, lr)
+	}
+}
+
+// execute runs one leased point, renewing the lease in the background
+// and aborting the simulation if the lease is lost (the server
+// re-leased it or cancelled the job). The completion report is skipped
+// when the run was aborted — someone else owns the point now.
+func (w *Worker) execute(ctx context.Context, lr LeaseResponse) {
+	p := *lr.Point
+	pctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	ttl := time.Duration(lr.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	go func() {
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		misses := 0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-pctx.Done():
+				return
+			case <-tick.C:
+			}
+			var rr RenewResponse
+			if err := w.post(pctx, "/v1/renew", RenewRequest{Lease: lr.Lease}, &rr); err != nil {
+				// Tolerate transient unreachability for roughly the TTL the
+				// server itself tolerates silence.
+				if misses++; misses >= 3 {
+					cancel()
+					return
+				}
+				continue
+			}
+			misses = 0
+			if rr.Status != StatusOK {
+				cancel()
+				return
+			}
+		}
+	}()
+
+	res, err := w.runPoint(pctx, p)
+	if err != nil {
+		if pctx.Err() != nil {
+			// Aborted: lease lost or worker shutting down. Do not report —
+			// a lost lease means the server already moved on, and an abort
+			// is not a simulation failure.
+			return
+		}
+		w.post(ctx, "/v1/complete", CompleteRequest{Lease: lr.Lease, Point: p, Error: err.Error()}, &CompleteResponse{})
+		return
+	}
+	w.post(ctx, "/v1/complete", CompleteRequest{Lease: lr.Lease, Point: p, Result: wireResult(res)}, &CompleteResponse{})
+}
+
+// runPoint executes one single-seed point exactly as the in-process
+// engine's runPoint does: shared cached program, warm-prefix fork when
+// the point calls for one, then a (chunked, abortable) run to
+// completion. Determinism of sessions makes the execution site
+// irrelevant: this result is byte-for-byte the engine's.
+func (w *Worker) runPoint(ctx context.Context, p sweep.Point) (*sim.Result, error) {
+	opts, err := p.Options()
+	if err != nil {
+		return nil, err
+	}
+	if w.SyncTiming {
+		opts = append(opts, sim.WithSyncTiming())
+	}
+	prog, err := w.Programs.Get(p.Workload, p.Scale, p.Variant)
+	if err != nil {
+		return nil, err
+	}
+	opts = append(opts, sim.WithProgram(prog))
+
+	var s *sim.Session
+	if wp, ok := p.WarmPoint(); ok {
+		data, cold, err := w.warmBytes(ctx, wp)
+		if err != nil {
+			return nil, fmt.Errorf("warm prefix %s: %w", wp, err)
+		}
+		if !cold {
+			ck, err := sim.LoadCheckpoint(data)
+			if err != nil {
+				return nil, fmt.Errorf("warm prefix %s: %w", wp, err)
+			}
+			s, err = sim.Resume(ck, opts...)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	if s == nil {
+		s, err = sim.New(p.Workload, opts...)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for !s.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := s.RunFor(runChunk); err != nil {
+			return nil, err
+		}
+	}
+	return s.Result(), nil
+}
+
+// warmBytes resolves the group's warm checkpoint through the server's
+// singleflight: served bytes if some worker already built it, a local
+// build (uploaded for the rest of the cluster) if this worker drew the
+// build token, or cold=true when the program halts inside the prefix.
+func (w *Worker) warmBytes(ctx context.Context, wp sweep.Point) (data []byte, cold bool, err error) {
+	for {
+		var wr WarmResponse
+		if err := w.post(ctx, "/v1/warm", WarmRequest{Point: wp}, &wr); err != nil {
+			return nil, false, err
+		}
+		switch wr.Status {
+		case StatusReady:
+			return wr.Data, false, nil
+		case StatusCold:
+			return nil, true, nil
+		case StatusBuild:
+			data, halted, err := w.buildWarm(ctx, wp)
+			if err != nil {
+				// Report the failure so the slot clears for the next
+				// requester, then surface it to this point's job.
+				w.post(ctx, "/v1/warm/complete", WarmCompleteRequest{Point: wp, Token: wr.Token, Error: err.Error()}, &CompleteResponse{})
+				return nil, false, err
+			}
+			if err := w.post(ctx, "/v1/warm/complete", WarmCompleteRequest{Point: wp, Token: wr.Token, Data: data, Halted: halted}, &CompleteResponse{}); err != nil {
+				return nil, false, err
+			}
+			return data, halted, nil
+		case StatusWait:
+			if !sleepCtx(ctx, w.idleDelay(wr.RetryMS)) {
+				return nil, false, ctx.Err()
+			}
+		default:
+			return nil, false, fmt.Errorf("serve: unexpected warm status %q", wr.Status)
+		}
+	}
+}
+
+// buildWarm runs the functional prefix locally, mirroring the engine's
+// runWarmPrefix: chunked so an abort lands promptly, halted=true when
+// the program ends inside the prefix (no suffix to share).
+func (w *Worker) buildWarm(ctx context.Context, wp sweep.Point) (data []byte, halted bool, err error) {
+	opts, err := wp.Options()
+	if err != nil {
+		return nil, false, err
+	}
+	prog, err := w.Programs.Get(wp.Workload, wp.Scale, wp.Variant)
+	if err != nil {
+		return nil, false, err
+	}
+	opts = append(opts, sim.WithProgram(prog))
+	s, err := sim.New(wp.Workload, opts...)
+	if err != nil {
+		return nil, false, err
+	}
+	for !s.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, false, err
+		}
+		if _, err := s.RunFor(runChunk); err != nil {
+			return nil, false, err
+		}
+	}
+	if s.Halted() {
+		return nil, true, nil
+	}
+	ck, err := s.Checkpoint()
+	if err != nil {
+		return nil, false, err
+	}
+	return ck.Bytes(), false, nil
+}
+
+func (w *Worker) idleDelay(retryMS int64) time.Duration {
+	d := time.Duration(retryMS) * time.Millisecond
+	if w.Poll > d {
+		d = w.Poll
+	}
+	if d <= 0 {
+		d = 100 * time.Millisecond
+	}
+	return d
+}
+
+// post sends one JSON request and decodes the JSON response.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	return postJSON(ctx, w.httpClient(), w.Server, path, in, out)
+}
+
+func (w *Worker) httpClient() *http.Client {
+	if w.HTTP != nil {
+		return w.HTTP
+	}
+	return http.DefaultClient
+}
+
+// sleepCtx sleeps for d unless ctx ends first; it reports whether the
+// full sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// postJSON is the one HTTP call shape the whole protocol uses:
+// POST JSON in, JSON out, non-2xx mapped to an error carrying the
+// server's message.
+func postJSON(ctx context.Context, c *http.Client, base, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("serve: %s: %s: %s", path, resp.Status, bytes.TrimSpace(msg))
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serve: %s: decode response: %w", path, err)
+	}
+	return nil
+}

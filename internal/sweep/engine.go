@@ -37,7 +37,7 @@ type Engine struct {
 	SyncTiming bool
 
 	// warm memoizes functional warm-prefix checkpoints by canonical warm
-	// point (see Point.warmPoint), keyed like the result memos so repeat
+	// point (see Point.WarmPoint), keyed like the result memos so repeat
 	// sweeps on one engine reuse the same warm-ups. Unlike Programs and
 	// Results it is always on — sharing the prefix run across a group is
 	// what WarmPrefix means, not an optional cache. Entries singleflight:
@@ -90,8 +90,13 @@ type Aggregate struct {
 	MPKIReg      stats.Summary
 }
 
-// newAggregate merges completed shard results, in seed order.
-func newAggregate(seeds []uint64, sims []*sim.Result) *Aggregate {
+// NewAggregate merges completed per-seed shard results, in seed order,
+// into the aggregate record the engine memoizes for a sharded point. The
+// merge is a pure function of the per-seed results — merging results a
+// remote worker produced yields byte-for-byte the record an in-process
+// sharded run would, which is why the sweep service can fan shards
+// across hosts and merge server-side.
+func NewAggregate(seeds []uint64, sims []*sim.Result) *Aggregate {
 	collect := func(f func(*sim.Result) float64) stats.Summary {
 		xs := make([]float64, len(sims))
 		for i, s := range sims {
@@ -184,7 +189,10 @@ func (e *Engine) Run(ctx context.Context, g Grid) (Results, error) {
 // that hit the shared result memo, and their completed results merge
 // into an Aggregate in seed order. The first error aborts the sweep: no
 // further jobs are dispatched, in-flight warm-prefix runs are cancelled,
-// and the error is returned once in-flight jobs drain. Points with a
+// and the error is returned once in-flight jobs drain — together with
+// the results of the points that did complete (in point order, fully
+// merged aggregates only), so an interrupted sweep can still flush what
+// it finished. Points with a
 // WarmPrefix fork from a shared functional checkpoint of their group's
 // prefix, run once per group (see Grid.WarmPrefix). Results are
 // positionally deterministic — the same points
@@ -313,24 +321,44 @@ dispatch:
 	close(jobs)
 	wg.Wait()
 
-	if firstErr != nil {
-		return nil, firstErr
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	// Merge completed shards, in seed order; the merge is a pure function
 	// of the per-seed results, so re-merging memoized shards is
-	// idempotent.
+	// idempotent. On an aborted sweep only fully sharded points merge —
+	// a partial seed set would summarize a different study.
 	for i, shards := range shardSims {
 		if shards == nil {
 			continue
 		}
-		agg := newAggregate(seedsOf[i], shards)
+		complete := true
+		for _, s := range shards {
+			if s == nil {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		agg := NewAggregate(seedsOf[i], shards)
 		if e.Results != nil && !norm[i].CaptureProb {
 			e.Results.putAgg(norm[i], agg)
 		}
 		aggs[i] = agg
+	}
+	if err := firstErr; err != nil || ctx.Err() != nil {
+		if err == nil {
+			err = ctx.Err()
+		}
+		// Return the completed points alongside the error, in point order,
+		// so an interrupted batch (SIGINT in cmd/pbsweep) can still flush
+		// the records it paid for. Unfinished points are simply absent.
+		var partial Results
+		for i := range norm {
+			if sims[i] != nil || aggs[i] != nil {
+				partial = append(partial, Result{Point: norm[i], Sim: sims[i], Agg: aggs[i]})
+			}
+		}
+		return partial, err
 	}
 	out := make(Results, len(pts))
 	for i := range norm {
@@ -343,9 +371,11 @@ dispatch:
 // caches. Cached programs are shared read-only across the concurrently
 // running sessions of the worker pool. syncTiming is a pure scheduling
 // knob — results (and therefore memo entries) are identical either way,
-// so it stays out of the point's identity. ctx cancellation is only
-// observed inside warm-prefix runs (see runWarmPrefix); a point's own
-// session runs to completion once started, as before.
+// so it stays out of the point's identity. Sessions run in chunks with
+// a cancellation check between them, so an aborting sweep (first error,
+// or SIGINT in cmd/pbsweep) stops mid-point promptly; chunking is
+// byte-identical to a one-shot run (see sim.Session.RunFor), so the
+// abort path costs completed points nothing.
 func (e *Engine) runPoint(ctx context.Context, p Point, syncTiming bool) (*sim.Result, error) {
 	p = p.normalize()
 	memoize := e.Results != nil && !p.CaptureProb
@@ -369,7 +399,7 @@ func (e *Engine) runPoint(ctx context.Context, p Point, syncTiming bool) (*sim.R
 		opts = append(opts, sim.WithProgram(prog))
 	}
 	var s *sim.Session
-	if wp, ok := p.warmPoint(); ok {
+	if wp, ok := p.WarmPoint(); ok {
 		ck, err := e.warmCheckpoint(ctx, wp)
 		if err != nil {
 			return nil, fmt.Errorf("warm prefix %s: %w", wp, err)
@@ -393,8 +423,13 @@ func (e *Engine) runPoint(ctx context.Context, p Point, syncTiming bool) (*sim.R
 			return nil, err
 		}
 	}
-	if err := s.Run(); err != nil {
-		return nil, err
+	for !s.Done() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if _, err := s.RunFor(warmChunk); err != nil {
+			return nil, err
+		}
 	}
 	res := s.Result()
 	if memoize {
@@ -403,7 +438,7 @@ func (e *Engine) runPoint(ctx context.Context, p Point, syncTiming bool) (*sim.R
 	return res, nil
 }
 
-// warmPoint returns the canonical point whose functional checkpoint this
+// WarmPoint returns the canonical point whose functional checkpoint this
 // point forks from, and whether warm-prefix reuse applies at all. The
 // timing-only axes — predictor, core width, predictor filtering — are
 // canonicalized away, because emulation never consumes timing results:
@@ -413,7 +448,9 @@ func (e *Engine) runPoint(ctx context.Context, p Point, syncTiming bool) (*sim.R
 // functional state. Reuse is skipped when the point's own budget ends
 // inside the prefix — fast-forwarding past MaxInstrs would simulate a
 // different run — and for aggregate points, which never run directly.
-func (p Point) warmPoint() (Point, bool) {
+// Exported so the sweep service's workers group points around the same
+// shared prefixes the in-process engine does.
+func (p Point) WarmPoint() (Point, bool) {
 	if p.WarmPrefix == 0 || p.Sharded() || (p.MaxInstrs != 0 && p.MaxInstrs <= p.WarmPrefix) {
 		return Point{}, false
 	}

@@ -130,21 +130,38 @@ func (s SeedSet) Count() int {
 // 4, the tage-sc-l predictor, the plain variant). Exactly one of Seed
 // and Seeds is meaningful: a key with a non-empty Seeds is an aggregate
 // point — the identity of a whole multi-seed study — and its Seed must
-// be zero.
+// be zero. The JSON encoding (zero-valued axes omitted, so equal keys
+// encode identically after normalization) is the wire form the sweep
+// service exchanges; String is the canonical scalar identity.
 type Key struct {
-	Workload   string
-	Predictor  sim.PredictorKind
-	PBS        bool
-	Width      int
-	Seed       uint64
-	Seeds      SeedSet
-	Variant    workloads.Variant
-	FilterProb bool
+	Workload   string            `json:"workload"`
+	Predictor  sim.PredictorKind `json:"predictor,omitempty"`
+	PBS        bool              `json:"pbs,omitempty"`
+	Width      int               `json:"width,omitempty"`
+	Seed       uint64            `json:"seed,omitempty"`
+	Seeds      SeedSet           `json:"seeds,omitempty"`
+	Variant    workloads.Variant `json:"variant,omitempty"`
+	FilterProb bool              `json:"filter_prob,omitempty"`
 }
 
 // Sharded reports whether the key identifies an aggregate (multi-seed)
 // point.
 func (k Key) Sharded() bool { return k.Seeds != "" }
+
+// String returns the canonical form of the key: every axis spelled out
+// at its normalized value, in a fixed order. Two keys have the same
+// canonical form exactly when they identify the same point, which makes
+// the form an authoritative map/store identity — the content-addressed
+// result store and the wire protocol key on it, not on Go map equality.
+func (k Key) String() string {
+	k = k.normalize()
+	seed := "seed=" + strconv.FormatUint(k.Seed, 10)
+	if k.Sharded() {
+		seed = "seeds=" + string(k.Seeds)
+	}
+	return fmt.Sprintf("workload=%s,predictor=%s,pbs=%t,width=%d,%s,variant=%s,filter_prob=%t",
+		k.Workload, k.Predictor, k.PBS, k.Width, seed, k.Variant, k.FilterProb)
+}
 
 func (k Key) normalize() Key {
 	if k.Width == 0 {
@@ -157,17 +174,20 @@ func (k Key) normalize() Key {
 }
 
 // Point is one fully expanded grid coordinate: a Key plus the run
-// parameters every point of the grid shares.
+// parameters every point of the grid shares. Its JSON encoding (the Key
+// fields inlined, zero-valued parameters omitted) round-trips exactly:
+// decoding the encoding of a normalized point yields that point, which
+// is what lets the sweep service ship points to workers as specs.
 type Point struct {
 	Key
-	Scale       int
-	SkipTiming  bool
-	CaptureProb bool
-	MaxInstrs   uint64
+	Scale       int    `json:"scale,omitempty"`
+	SkipTiming  bool   `json:"skip_timing,omitempty"`
+	CaptureProb bool   `json:"capture_prob,omitempty"`
+	MaxInstrs   uint64 `json:"max_instrs,omitempty"`
 	// WarmPrefix is part of the point's identity, not just scheduling: a
 	// warm-forked run reports timing only over the post-prefix suffix, so
 	// it must never share a memo entry with a cold run of the same Key.
-	WarmPrefix uint64
+	WarmPrefix uint64 `json:"warm_prefix,omitempty"`
 }
 
 func (p Point) normalize() Point {
@@ -176,6 +196,18 @@ func (p Point) normalize() Point {
 		p.Scale = 1
 	}
 	return p
+}
+
+// Canonical returns the canonical form of the whole point: the Key's
+// canonical form plus the run parameters, all normalized. Like
+// Key.String it is an authoritative identity — two points share it
+// exactly when the engine would share one result-memo entry between
+// them — and it is the preimage the sweep service's content-addressed
+// store hashes.
+func (p Point) Canonical() string {
+	p = p.normalize()
+	return fmt.Sprintf("%s,scale=%d,skip_timing=%t,capture_prob=%t,max_instrs=%d,warm_prefix=%d",
+		p.Key.String(), p.Scale, p.SkipTiming, p.CaptureProb, p.MaxInstrs, p.WarmPrefix)
 }
 
 func (p Point) String() string {

@@ -197,9 +197,18 @@ func (rs Results) Records() []Record {
 
 // WriteJSON writes the results as an indented JSON array of records.
 func (rs Results) WriteJSON(w io.Writer) error {
+	return WriteRecordsJSON(w, rs.Records())
+}
+
+// WriteRecordsJSON writes already-flattened records as an indented JSON
+// array, byte-identical to Results.WriteJSON of the results they came
+// from. It exists for consumers that hold rows rather than results —
+// the sweep service's client reassembles streamed rows and emits the
+// same file a local batch run would.
+func WriteRecordsJSON(w io.Writer, recs []Record) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(rs.Records())
+	return enc.Encode(recs)
 }
 
 // csvColumns is the WriteCSV column order.
@@ -216,13 +225,20 @@ var csvColumns = []string{
 
 // WriteCSV writes the results as CSV with a header row.
 func (rs Results) WriteCSV(w io.Writer) error {
+	return WriteRecordsCSV(w, rs.Records())
+}
+
+// WriteRecordsCSV writes already-flattened records as CSV with a header
+// row, byte-identical to Results.WriteCSV of the results they came from
+// (see WriteRecordsJSON).
+func WriteRecordsCSV(w io.Writer, recs []Record) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvColumns); err != nil {
 		return err
 	}
 	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
-	for _, rec := range rs.Records() {
+	for _, rec := range recs {
 		row := []string{
 			rec.Workload, rec.Predictor, strconv.FormatBool(rec.PBS),
 			strconv.Itoa(rec.Width), u(rec.Seed), rec.Variant,
