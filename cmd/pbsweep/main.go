@@ -40,6 +40,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -76,6 +77,8 @@ func runServe(args []string) {
 		addr     = fs.String("addr", ":9571", "listen address")
 		storeDir = fs.String("store", "", "content-addressed result store directory (empty = in-memory only; results vanish with the process)")
 		leaseTTL = fs.Duration("lease-ttl", 30*time.Second, "worker lease deadline; a worker silent for this long has its point re-leased")
+		memCap   = fs.Int64("mem-cache-mb", 0, "cap the store's in-memory layer at this many MiB, evicting LRU entries to the backing directory (0 = unbounded; requires -store)")
+		noJrnl   = fs.Bool("no-journal", false, "disable the durable job journal even with -store (open jobs then die with the process)")
 		quiet    = fs.Bool("quiet", false, "suppress per-event protocol logging on stderr")
 	)
 	fs.Parse(args)
@@ -83,10 +86,24 @@ func runServe(args []string) {
 	if err != nil {
 		fail(err)
 	}
+	if *memCap > 0 {
+		if *storeDir == "" {
+			fail(errors.New("serve: -mem-cache-mb needs -store (a memory-only store cannot evict its only copy)"))
+		}
+		store.MaxMemBytes = *memCap << 20
+	}
 	srv := serve.NewServer(store)
 	srv.LeaseTTL = *leaseTTL
 	if !*quiet {
 		srv.Logf = func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) }
+	}
+	// With a persistent store the job journal rides alongside it: open
+	// jobs survive server restarts, and reconnecting clients resume
+	// their streams exactly where they left off.
+	if *storeDir != "" && !*noJrnl {
+		if err := srv.AttachJournal(filepath.Join(*storeDir, "journal.ndjson")); err != nil {
+			fail(err)
+		}
 	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
@@ -128,6 +145,7 @@ func runWorker(args []string) {
 		parallel = fs.Int("parallel", 0, "concurrent points (0 = GOMAXPROCS)")
 		name     = fs.String("name", "", "worker name prefix in server logs (default: hostname)")
 		poll     = fs.Duration("poll", 0, "idle re-poll interval floor (0 = server's suggestion)")
+		budget   = fs.Duration("retry-budget", 2*time.Minute, "how long requests retry through an unreachable server before the worker exits")
 	)
 	fs.Parse(args)
 	if *server == "" {
@@ -150,26 +168,52 @@ func runWorker(args []string) {
 	// Results are byte-identical either way.
 	syncTiming := 2*n > runtime.GOMAXPROCS(0)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	progs := sweep.NewProgramCache()
 	var wg sync.WaitGroup
+	workers := make([]*serve.Worker, 0, n)
+	errs := make(chan error, n)
 	for i := range n {
 		w := &serve.Worker{
-			Server:     *server,
-			Name:       fmt.Sprintf("%s/%d", *name, i),
-			Programs:   progs,
-			SyncTiming: syncTiming,
-			Poll:       *poll,
+			Server:      *server,
+			Name:        fmt.Sprintf("%s/%d", *name, i),
+			Programs:    progs,
+			SyncTiming:  syncTiming,
+			Poll:        *poll,
+			RetryBudget: *budget,
 		}
+		workers = append(workers, w)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w.Run(ctx)
+			if err := w.Run(ctx); err != nil && !errors.Is(err, context.Canceled) {
+				errs <- err
+			}
 		}()
 	}
+	// First signal: graceful drain — each worker finishes or checkpoints
+	// and releases its current point, then exits. Second signal: hard
+	// abort (leases expire server-side; the points re-lease with
+	// whatever progress their renewals shipped).
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		fmt.Fprintln(os.Stderr, "pbsweep: draining workers (interrupt again to abort)")
+		for _, w := range workers {
+			w.Drain()
+		}
+		<-sigc
+		cancel()
+	}()
 	fmt.Fprintf(os.Stderr, "pbsweep: %d worker(s) attached to %s\n", n, *server)
 	wg.Wait()
+	select {
+	case err := <-errs:
+		fail(err)
+	default:
+	}
 }
 
 // runBatch is the classic pbsweep invocation: expand a grid and run it —

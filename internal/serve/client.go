@@ -30,6 +30,19 @@ type Client struct {
 	// HTTP is the client used for every request; nil means a default
 	// with no overall timeout (streams need none).
 	HTTP *http.Client
+	// RetryBudget bounds how long Collect keeps reconnecting without
+	// receiving a single new entry before it gives up and returns the
+	// partial rows with the last error; the zero value means 2 minutes —
+	// enough to ride out a server restart (the journal brings the job
+	// back). Any delivered entry resets the budget.
+	RetryBudget time.Duration
+}
+
+func (c *Client) retryBudget() time.Duration {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return 2 * time.Minute
 }
 
 // Submit posts a grid and returns the accepted job's description.
@@ -116,6 +129,8 @@ func (c *Client) Collect(ctx context.Context, g sweep.Grid, onRow func(done, tot
 	next := 0
 	var jobErr, fatal error
 	done := false
+	bo := newBackoff(100*time.Millisecond, 2*time.Second)
+	lastProgress := time.Now()
 	for !done {
 		err := c.Stream(ctx, jr.ID, next, func(e StreamEntry) error {
 			if e.Seq != next {
@@ -123,6 +138,7 @@ func (c *Client) Collect(ctx context.Context, g sweep.Grid, onRow func(done, tot
 				return fatal
 			}
 			next++
+			lastProgress = time.Now()
 			if e.Done {
 				if e.Err != "" {
 					jobErr = fmt.Errorf("serve: job %s failed: %s", jr.ID, e.Err)
@@ -156,10 +172,20 @@ func (c *Client) Collect(ctx context.Context, g sweep.Grid, onRow func(done, tot
 		if ctx.Err() != nil {
 			return decodeRows(rows, filled, jr.Rows, false)
 		}
-		// The connection dropped mid-job (network blip, proxy timeout).
-		// The job survives client disconnects, so retry and resume from
-		// the next sequence number.
-		if !sleepCtx(ctx, 100*time.Millisecond) {
+		// The connection dropped mid-job (network blip, proxy timeout,
+		// server restart). The job survives both client disconnects and —
+		// with a journal — server restarts, so retry with jittered backoff
+		// and resume from the next sequence number. A stream that yields
+		// nothing new for the whole retry budget surfaces the real error
+		// instead of spinning forever.
+		if time.Since(lastProgress) > c.retryBudget() {
+			recs, _ := decodeRows(rows, filled, jr.Rows, false)
+			if err == nil {
+				err = fmt.Errorf("serve: job %s: no stream progress for %v", jr.ID, c.retryBudget())
+			}
+			return recs, err
+		}
+		if !sleepCtx(ctx, bo.next()) {
 			return decodeRows(rows, filled, jr.Rows, false)
 		}
 	}

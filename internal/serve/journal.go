@@ -1,0 +1,157 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"repro/internal/sweep"
+)
+
+// JournalEntry is one line of the server's durable job journal, an
+// append-only NDJSON file living alongside the content-addressed store.
+// Three entry types reconstruct every open job after a server restart:
+//
+//   - "job": a grid was accepted under ID (the submission record). The
+//     expansion Grid → points → row layout is deterministic, so the
+//     grid alone rebuilds the job's shape.
+//   - "row": stream entry Seq of job ID delivered the row at position
+//     Pos. Row *content* is not journaled — it is recomputed from the
+//     store, which holds the result by the time the row is emitted
+//     (completions persist before delivery), and recomputation is
+//     byte-identical because rows are deterministic marshalings of
+//     deterministic results.
+//   - "done": the job finished, with Err carrying its failure if any.
+//
+// The journal is thus a record of decisions (what was accepted, what
+// was delivered, in what order), while the store is the record of
+// values — the replace-nothing, append-only half of the pair.
+type JournalEntry struct {
+	T    string      `json:"t"`
+	Job  string      `json:"job"`
+	Grid *sweep.Grid `json:"grid,omitempty"`
+	Seq  int         `json:"seq,omitempty"`
+	Pos  int         `json:"pos,omitempty"`
+	Err  string      `json:"err,omitempty"`
+}
+
+// Journal entry types.
+const (
+	journalJob  = "job"
+	journalRow  = "row"
+	journalDone = "done"
+)
+
+// Journal is the append-only NDJSON job journal. Appends are fsynced —
+// an acknowledged submission or delivered row survives power loss.
+// Safe for concurrent use; Close makes further appends fail cleanly,
+// which lets a restart sequence detach a predecessor's journal before
+// its successor opens the file.
+type Journal struct {
+	mu     sync.Mutex
+	f      *os.File
+	closed bool
+}
+
+// OpenJournal opens (creating if needed) the journal at path, returning
+// the entries recorded by previous runs. Recovery is tolerant of the
+// failure modes an append-only file actually has: a torn final line
+// (crash mid-append) and trailing corruption are truncated away, and
+// the journal resumes appending after the last intact entry. Entries
+// before the damage are never discarded.
+func OpenJournal(path string) (*Journal, []JournalEntry, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("serve: open journal: %w", err)
+	}
+	entries, good, err := readJournal(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: read journal: %w", err)
+	}
+	// Drop the torn/corrupt tail so the next append starts a clean line.
+	if err := f.Truncate(good); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: truncate journal tail: %w", err)
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("serve: seek journal: %w", err)
+	}
+	return &Journal{f: f}, entries, nil
+}
+
+// readJournal parses entries and returns them with the byte offset of
+// the end of the last intact line. Parsing stops — without error — at
+// the first torn or corrupt line: everything after it is unreliable
+// (later entries may depend on the damaged one), and recovery keeps
+// the intact prefix, exactly like internal/ckpt's truncation handling.
+func readJournal(f *os.File) ([]JournalEntry, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var (
+		entries []JournalEntry
+		good    int64
+	)
+	r := bufio.NewReader(f)
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// A final line without its newline is a torn append; whatever
+			// it holds was never acknowledged as durable.
+			return entries, good, nil
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		trimmed := bytes.TrimSpace(line)
+		if len(trimmed) == 0 {
+			good += int64(len(line))
+			continue
+		}
+		var e JournalEntry
+		if err := json.Unmarshal(trimmed, &e); err != nil || e.T == "" {
+			// Corrupt line: keep the intact prefix, drop the rest.
+			return entries, good, nil
+		}
+		entries = append(entries, e)
+		good += int64(len(line))
+	}
+}
+
+// Append durably records one entry: marshal, write one line, fsync.
+func (j *Journal) Append(e JournalEntry) error {
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	data = append(data, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("serve: journal append: journal is closed")
+	}
+	if _, err := j.f.Write(data); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("serve: journal append: %w", err)
+	}
+	return nil
+}
+
+// Close detaches the journal; subsequent appends fail. Idempotent.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	return j.f.Close()
+}

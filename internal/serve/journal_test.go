@@ -1,0 +1,183 @@
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestJournalRoundTrip covers the append/reopen cycle: entries written
+// by one journal instance are returned, in order, by the next open.
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh journal returned %d entries", len(entries))
+	}
+	want := []JournalEntry{
+		{T: journalJob, Job: "j1"},
+		{T: journalRow, Job: "j1", Seq: 0, Pos: 2},
+		{T: journalRow, Job: "j1", Seq: 1, Pos: 0},
+		{T: journalDone, Job: "j1", Seq: 2, Err: "boom"},
+	}
+	for _, e := range want {
+		if err := j.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(JournalEntry{T: journalRow}); err == nil {
+		t.Error("append after Close succeeded; a detached journal must refuse writes")
+	}
+
+	_, got, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("reopened journal returned %d entries, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].T != want[i].T || got[i].Job != want[i].Job || got[i].Seq != want[i].Seq ||
+			got[i].Pos != want[i].Pos || got[i].Err != want[i].Err {
+			t.Errorf("entry %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestJournalTornTail pins crash recovery: a final line cut mid-append
+// (no newline) is truncated away, the intact prefix survives, and the
+// journal appends cleanly after the cut.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j, _, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range 3 {
+		if err := j.Append(JournalEntry{T: journalRow, Job: "j1", Seq: i, Pos: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"t":"row","job":"j1","se`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open over a torn tail: %v", err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("recovered %d entries, want the 3 intact ones", len(entries))
+	}
+	if err := j2.Append(JournalEntry{T: journalRow, Job: "j1", Seq: 3, Pos: 3}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, again, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 4 || again[3].Seq != 3 {
+		t.Errorf("after truncate-and-append: %d entries (last %+v), want 4 ending at seq 3", len(again), again[len(again)-1])
+	}
+}
+
+// TestJournalCorruptLine pins the prefix-keeping policy: parsing stops
+// at the first corrupt line (everything after it may depend on it), the
+// tail is truncated, and appends resume from the intact prefix.
+func TestJournalCorruptLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	content := `{"t":"job","job":"j1"}` + "\n" +
+		`{"t":"row","job":"j1","pos":1}` + "\n" +
+		"!!garbage, not json!!\n" +
+		`{"t":"row","job":"j1","seq":1,"pos":2}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, entries, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open over corruption: %v", err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("recovered %d entries, want the 2 before the corruption", len(entries))
+	}
+	if err := j.Append(JournalEntry{T: journalDone, Job: "j1", Seq: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, again, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 3 || again[2].T != journalDone {
+		t.Errorf("after corruption recovery: %d entries, want 3 ending in %q", len(again), journalDone)
+	}
+}
+
+// TestStoreLRUEviction pins the bounded memory layer: a directory-backed
+// store with MaxMemBytes evicts least-recently-used entries down to the
+// cap, and an evicted entry is still served — from the durable tier —
+// on the next Get.
+func TestStoreLRUEviction(t *testing.T) {
+	s, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MaxMemBytes = 3 * 1024
+	blob := func(i int) []byte {
+		b := make([]byte, 1024)
+		for k := range b {
+			b[k] = byte(i)
+		}
+		return b
+	}
+	addrs := make([]string, 8)
+	for i := range addrs {
+		addrs[i] = Addr("result", fmt.Sprintf("p%d", i))
+		if err := s.Put(addrs[i], blob(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, b := s.Len(), s.MemBytes(); n != 3 || b != 3*1024 {
+		t.Errorf("after 8 puts under a 3KiB cap: %d resident entries, %d bytes; want 3 entries, 3072 bytes", n, b)
+	}
+	// The oldest entries were evicted from memory but must survive on
+	// disk — eviction trades a file read, never a re-simulation.
+	for i := range 8 {
+		data, ok := s.Get(addrs[i])
+		if !ok || len(data) != 1024 || data[0] != byte(i) {
+			t.Fatalf("entry %d lost after eviction: ok=%v len=%d", i, ok, len(data))
+		}
+	}
+	if b := s.MemBytes(); b > 3*1024 {
+		t.Errorf("reloads grew the memory layer past the cap: %d bytes", b)
+	}
+}
+
+// TestStoreMemOnlyNeverEvicts pins the guard: a memory-only store is the
+// only copy, so the cap is ignored rather than losing data.
+func TestStoreMemOnlyNeverEvicts(t *testing.T) {
+	s := NewMemStore()
+	s.MaxMemBytes = 1
+	for i := range 5 {
+		if err := s.Put(Addr("result", fmt.Sprintf("m%d", i)), []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 5 {
+		t.Errorf("memory-only store evicted: %d entries resident, want all 5", s.Len())
+	}
+}

@@ -3,9 +3,12 @@ package serve
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -32,7 +35,14 @@ import (
 // of their in-flight leases with StatusGone so workers abandon them
 // mid-point. A lease that is neither renewed nor completed within its
 // TTL is reclaimed and the point re-leased — worker loss delays a job,
-// never wedges it.
+// never wedges it. Workers piggyback mid-point progress checkpoints on
+// their renewals, so a re-leased point resumes where its dead worker
+// left off instead of restarting cold.
+//
+// With AttachJournal, accepted jobs and delivered rows are also
+// recorded in a durable journal; a restarted server replays it, rebuilds
+// every job, and re-queues unfinished points against the store's dedup —
+// server death delays a job exactly like worker death does.
 type Server struct {
 	// LeaseTTL is the worker lease deadline (renewals reset it). The
 	// zero value means 30s.
@@ -43,8 +53,9 @@ type Server struct {
 	// Logf, when set, receives one line per protocol event.
 	Logf func(format string, args ...any)
 
-	store *Store
-	now   func() time.Time // test seam; time.Now otherwise
+	store   *Store
+	journal *Journal
+	now     func() time.Time // test seam; time.Now otherwise
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -96,6 +107,15 @@ type run struct {
 	lease    uint64
 	deadline time.Time
 	waiters  []taskRef
+	// progress is the latest mid-point checkpoint a worker piggybacked
+	// on a renewal (or handed back with a released lease). A re-lease
+	// ships it so the next worker resumes instead of restarting cold.
+	// Entries replace only on a higher instruction count and are
+	// dropped on completion or cancellation — the mutable, in-memory
+	// contrast to the immutable result store: progress is a hint worth
+	// at most one TTL of work, never a value anyone depends on.
+	progress       []byte
+	progressInstrs uint64
 }
 
 // warmSlot tracks an in-flight warm-prefix build. Completed warm
@@ -134,6 +154,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleStream)
 	mux.HandleFunc("POST /v1/lease", s.handleLease)
 	mux.HandleFunc("POST /v1/renew", s.handleRenew)
+	mux.HandleFunc("POST /v1/release", s.handleRelease)
 	mux.HandleFunc("POST /v1/complete", s.handleComplete)
 	mux.HandleFunc("POST /v1/warm", s.handleWarm)
 	mux.HandleFunc("POST /v1/warm/complete", s.handleWarmComplete)
@@ -183,32 +204,18 @@ func (s *Server) retryMS() int64 {
 	return 100
 }
 
-// handleSubmit expands a grid into a job. Store hits resolve
-// immediately (their rows stream before the response returns); misses
-// attach to singleflight runs, enqueueing new ones.
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req JobRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		http.Error(w, fmt.Sprintf("serve: bad job request: %v", err), http.StatusBadRequest)
-		return
-	}
-	if req.Grid.CaptureProb {
-		// Captured value streams are large and deliberately excluded from
-		// memoization in-process; a shared store must not carry them
-		// either. Table III runs stay on the batch engine.
-		http.Error(w, "serve: capture_prob grids are batch-only (value streams are not served)", http.StatusBadRequest)
-		return
-	}
-	pts, err := req.Grid.Points()
+// buildJob expands a grid into a job skeleton: points, per-point seed
+// sets, and the fixed output-row layout. It touches no server state, so
+// submission and journal replay build byte-identical layouts from one
+// grid.
+func buildJob(g sweep.Grid) (*job, error) {
+	pts, err := g.Points()
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+		return nil, err
 	}
 	if len(pts) == 0 {
-		http.Error(w, "serve: grid expanded to no runnable points", http.StatusBadRequest)
-		return
+		return nil, errors.New("serve: grid expanded to no runnable points")
 	}
-
 	j := &job{
 		points:  pts,
 		seedsOf: make([][]uint64, len(pts)),
@@ -224,67 +231,303 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		}
 		seeds := p.Key.Seeds.Seeds()
 		if len(seeds) == 0 {
-			http.Error(w, fmt.Sprintf("serve: point %s has a malformed seed set", p), http.StatusBadRequest)
-			return
+			return nil, fmt.Errorf("serve: point %s has a malformed seed set", p)
 		}
 		j.seedsOf[i] = seeds
 		j.shardSims[i] = make([]*sim.Result, len(seeds))
 		j.totalRows += len(seeds) + 1 // per-seed rows, then the aggregate row
 	}
 	j.rowsLeft = j.totalRows
+	return j, nil
+}
 
-	// Resolve each executable unit: hit the store or join a run. Hits
-	// are collected first and delivered after the job is fully built, so
-	// their rows stream in deterministic point order.
-	type hit struct {
-		ref taskRef
-		res *sim.Result
+// handleSubmit expands a grid into a job. Store hits resolve
+// immediately (their rows stream before the response returns); misses
+// attach to singleflight runs, enqueueing new ones. With a journal
+// attached, the submission is durable before it is acknowledged.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("serve: bad job request: %v", err), http.StatusBadRequest)
+		return
 	}
-	var hits []hit
-	cached, scheduled := 0, 0
+	if req.Grid.CaptureProb {
+		// Captured value streams are large and deliberately excluded from
+		// memoization in-process; a shared store must not carry them
+		// either. Table III runs stay on the batch engine.
+		http.Error(w, "serve: capture_prob grids are batch-only (value streams are not served)", http.StatusBadRequest)
+		return
+	}
+	j, err := buildJob(req.Grid)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+
 	s.mu.Lock()
 	s.nextJob++
 	j.id = "j" + strconv.FormatUint(s.nextJob, 10)
-	unit := func(p sweep.Point, ref taskRef) {
-		addr := Addr("result", p.Canonical())
-		if data, ok := s.store.Get(addr); ok && len(data) > 0 {
-			var pr PointResult
-			if err := json.Unmarshal(data, &pr); err == nil {
-				hits = append(hits, hit{ref, pr.simResult()})
-				cached++
-				return
-			}
-			// A corrupt store entry falls through and re-simulates.
+	s.jobs[j.id] = j
+	if s.journal != nil {
+		// The submission record must be durable before any of its row
+		// entries (journal order is replay order) and before the client
+		// learns the job ID.
+		g := req.Grid
+		if err := s.journal.Append(JournalEntry{T: journalJob, Job: j.id, Grid: &g}); err != nil {
+			s.logf("serve: journal: %v", err)
 		}
-		scheduled++
-		ru := s.runs[addr]
-		if ru == nil || ru.state == runDone {
-			ru = &run{addr: addr, point: p, state: runPending}
-			s.runs[addr] = ru
-			s.queue = append(s.queue, ru)
-		}
-		ru.waiters = append(ru.waiters, ref)
 	}
-	for i, p := range pts {
+	cached, scheduled := s.resolveJob(j)
+	s.mu.Unlock()
+	s.logf("serve: job %s: %d points, %d rows, %d cached, %d scheduled", j.id, len(j.points), j.totalRows, cached, scheduled)
+
+	writeJSON(w, JobResponse{ID: j.id, Rows: j.totalRows, Points: len(j.points), Cached: cached, Runs: scheduled})
+}
+
+// resolveJob (mu held) resolves every output row of j not already in
+// its log: store hits deliver immediately (in point order), misses
+// attach the job as a waiter to singleflight runs. It finishes the job
+// if nothing is left. Shared by submission (empty log) and journal
+// recovery (log prefilled by replay).
+func (s *Server) resolveJob(j *job) (cached, scheduled int) {
+	if j.finished {
+		return 0, 0
+	}
+	delivered := make(map[int]bool, len(j.log))
+	for _, le := range j.log {
+		if !le.Done {
+			delivered[le.Pos] = true
+		}
+	}
+	for i, p := range j.points {
 		if !p.Sharded() {
-			unit(p, taskRef{j, i, -1})
+			if delivered[j.rowBase[i]] {
+				continue
+			}
+			if s.resolveUnit(p, taskRef{j, i, -1}) {
+				cached++
+			} else {
+				scheduled++
+			}
 			continue
 		}
-		for si, seed := range j.seedsOf[i] {
-			unit(p.Shard(seed), taskRef{j, i, si})
+		seeds := j.seedsOf[i]
+		allRows := true
+		for si, seed := range seeds {
+			if delivered[j.rowBase[i]+si] {
+				continue
+			}
+			allRows = false
+			if s.resolveUnit(p.Shard(seed), taskRef{j, i, si}) {
+				cached++
+			} else {
+				scheduled++
+			}
 		}
-	}
-	s.jobs[j.id] = j
-	for _, h := range hits {
-		s.deliver(h.ref, h.res)
+		// Every shard row was already delivered (replayed) but the
+		// aggregate row was not: the predecessor crashed between the last
+		// shard and the merge. Emit it now; when instead some shard
+		// resolves above, deliver() emits the aggregate as usual.
+		if allRows && !delivered[j.rowBase[i]+len(seeds)] && shardsComplete(j.shardSims[i]) {
+			agg := sweep.NewAggregate(seeds, j.shardSims[i])
+			s.emitRow(j, j.rowBase[i]+len(seeds), sweep.Result{Point: p, Agg: agg}.Record())
+		}
 	}
 	if j.rowsLeft == 0 && !j.finished {
 		s.finishJob(j, "")
 	}
-	s.mu.Unlock()
-	s.logf("serve: job %s: %d points, %d rows, %d cached, %d scheduled", j.id, len(pts), j.totalRows, cached, scheduled)
+	return cached, scheduled
+}
 
-	writeJSON(w, JobResponse{ID: j.id, Rows: j.totalRows, Points: len(pts), Cached: cached, Runs: scheduled})
+func shardsComplete(sims []*sim.Result) bool {
+	for _, sr := range sims {
+		if sr == nil {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveUnit (mu held) resolves one executable unit against the two
+// dedup layers: a store hit delivers ref's row immediately and reports
+// true; a miss attaches ref to the in-flight singleflight run for the
+// point, enqueueing a new one if needed.
+func (s *Server) resolveUnit(p sweep.Point, ref taskRef) bool {
+	if res, err := s.loadResult(p); err == nil {
+		s.deliver(ref, res)
+		return true
+	}
+	// A missing — or corrupt, which falls through and re-simulates —
+	// store entry schedules a run.
+	addr := Addr("result", p.Canonical())
+	ru := s.runs[addr]
+	if ru == nil || ru.state == runDone {
+		ru = &run{addr: addr, point: p, state: runPending}
+		s.runs[addr] = ru
+		s.queue = append(s.queue, ru)
+	}
+	ru.waiters = append(ru.waiters, ref)
+	return false
+}
+
+// loadResult fetches and decodes a point's result from the store.
+func (s *Server) loadResult(p sweep.Point) (*sim.Result, error) {
+	data, ok := s.store.Get(Addr("result", p.Canonical()))
+	if !ok || len(data) == 0 {
+		return nil, fmt.Errorf("result for %s missing from store", p)
+	}
+	var pr PointResult
+	if err := json.Unmarshal(data, &pr); err != nil {
+		return nil, fmt.Errorf("result for %s corrupt in store: %w", p, err)
+	}
+	return pr.simResult(), nil
+}
+
+// AttachJournal opens the durable job journal at path, replays whatever
+// a predecessor recorded — finished jobs reconstruct their streams for
+// exactly-once client resume, open jobs re-resolve against the store
+// and re-queue their unfinished points — and attaches the journal so
+// this server's own decisions are recorded. Call once, before serving
+// traffic.
+func (s *Server) AttachJournal(path string) error {
+	jn, entries, err := OpenJournal(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.journal != nil {
+		jn.Close()
+		return errors.New("serve: journal already attached")
+	}
+	// Replay with the journal detached: replayed emissions are already
+	// in the file and must not be re-journaled.
+	s.replay(entries)
+	s.journal = jn
+	for _, j := range s.jobsInOrder() {
+		if j.finished {
+			continue
+		}
+		cached, scheduled := s.resolveJob(j)
+		s.logf("serve: journal: job %s recovered: %d/%d rows already streamed, %d cached, %d re-queued",
+			j.id, len(j.log), j.totalRows, cached, scheduled)
+	}
+	return nil
+}
+
+// replay (mu held, journal detached) reconstructs jobs from journal
+// entries. Row content is recomputed from the store: a completion is
+// persisted before its row is emitted (and emitted before it is
+// journaled), so every journaled row's result is durably present — and
+// rows are deterministic marshalings of deterministic results, so the
+// rebuilt bytes equal the originals and resumed client streams see the
+// identical entries.
+func (s *Server) replay(entries []JournalEntry) {
+	for _, e := range entries {
+		switch e.T {
+		case journalJob:
+			if e.Grid == nil || s.jobs[e.Job] != nil {
+				continue
+			}
+			j, err := buildJob(*e.Grid)
+			if err != nil {
+				s.logf("serve: journal: job %s unrecoverable: %v", e.Job, err)
+				continue
+			}
+			j.id = e.Job
+			if n, ok := jobSeq(e.Job); ok && n > s.nextJob {
+				s.nextJob = n
+			}
+			s.jobs[j.id] = j
+		case journalRow:
+			j := s.jobs[e.Job]
+			if j == nil || j.finished {
+				continue
+			}
+			if err := s.replayRow(j, e); err != nil {
+				// The journal promised this row to clients; a job that
+				// cannot reproduce its promised stream fails rather than
+				// silently renumbering it.
+				s.finishJob(j, fmt.Sprintf("journal replay: %v", err))
+			}
+		case journalDone:
+			if j := s.jobs[e.Job]; j != nil {
+				s.finishJob(j, e.Err)
+			}
+		}
+	}
+}
+
+// replayRow (mu held) re-emits one journaled row from the store.
+func (s *Server) replayRow(j *job, e JournalEntry) error {
+	if e.Seq != len(j.log) {
+		return fmt.Errorf("row seq %d does not follow log length %d", e.Seq, len(j.log))
+	}
+	if e.Pos < 0 || e.Pos >= j.totalRows {
+		return fmt.Errorf("row pos %d outside the %d-row layout", e.Pos, j.totalRows)
+	}
+	// The owning point: the last rowBase at or before pos.
+	i := sort.Search(len(j.rowBase), func(i int) bool { return j.rowBase[i] > e.Pos }) - 1
+	p := j.points[i]
+	if !p.Sharded() {
+		res, err := s.loadResult(p)
+		if err != nil {
+			return err
+		}
+		s.emitRow(j, e.Pos, sweep.Result{Point: p, Sim: res}.Record())
+		return nil
+	}
+	seeds := j.seedsOf[i]
+	if off := e.Pos - j.rowBase[i]; off < len(seeds) {
+		res, err := s.loadResult(p.Shard(seeds[off]))
+		if err != nil {
+			return err
+		}
+		j.shardSims[i][off] = res
+		s.emitRow(j, e.Pos, sweep.Result{Point: p.Shard(seeds[off]), Sim: res}.Record())
+		return nil
+	}
+	// The aggregate row. Journal order guarantees the shard rows came
+	// first, but load any straggler defensively.
+	for si, sr := range j.shardSims[i] {
+		if sr == nil {
+			res, err := s.loadResult(p.Shard(seeds[si]))
+			if err != nil {
+				return err
+			}
+			j.shardSims[i][si] = res
+		}
+	}
+	s.emitRow(j, e.Pos, sweep.Result{Point: p, Agg: sweep.NewAggregate(seeds, j.shardSims[i])}.Record())
+	return nil
+}
+
+// jobsInOrder (mu held) returns jobs sorted by submission sequence, so
+// recovery re-queues work in the order clients submitted it.
+func (s *Server) jobsInOrder() []*job {
+	out := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		na, _ := jobSeq(out[a].id)
+		nb, _ := jobSeq(out[b].id)
+		if na != nb {
+			return na < nb
+		}
+		return out[a].id < out[b].id
+	})
+	return out
+}
+
+// jobSeq parses the numeric sequence out of a "jN" job ID.
+func jobSeq(id string) (uint64, bool) {
+	num, ok := strings.CutPrefix(id, "j")
+	if !ok {
+		return 0, false
+	}
+	n, err := strconv.ParseUint(num, 10, 64)
+	return n, err == nil
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -397,11 +640,21 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 	ru.lease = s.nextLease
 	ru.deadline = now.Add(s.leaseTTL())
 	s.leases[ru.lease] = ru
+	resp := LeaseResponse{Status: StatusPoint, Lease: ru.lease, Point: &ru.point, TTLMS: s.leaseTTL().Milliseconds()}
 	point := ru.point
-	lease := ru.lease
+	if len(ru.progress) > 0 {
+		// Ship the predecessor's progress: the new worker resumes at
+		// this instruction count instead of restarting cold.
+		resp.Checkpoint = ru.progress
+		resp.Instrs = ru.progressInstrs
+	}
 	s.mu.Unlock()
-	s.logf("serve: lease %d -> %s (%s)", lease, point, req.Worker)
-	writeJSON(w, LeaseResponse{Status: StatusPoint, Lease: lease, Point: &point, TTLMS: s.leaseTTL().Milliseconds()})
+	if resp.Instrs > 0 {
+		s.logf("serve: lease %d -> %s (%s) resumes @%d", resp.Lease, point, req.Worker, resp.Instrs)
+	} else {
+		s.logf("serve: lease %d -> %s (%s)", resp.Lease, point, req.Worker)
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
@@ -422,8 +675,58 @@ func (s *Server) handleRenew(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ru.deadline = now.Add(s.leaseTTL())
+	var progressed uint64
+	if len(req.Checkpoint) > 0 && req.Instrs > ru.progressInstrs {
+		// Replace-on-higher-count: a stale renewal (delayed, duplicated,
+		// or from a worker that fell behind) never regresses progress.
+		ru.progress = req.Checkpoint
+		ru.progressInstrs = req.Instrs
+		progressed = req.Instrs
+	}
+	point := ru.point
 	s.mu.Unlock()
+	if progressed > 0 {
+		s.logf("serve: progress %s @%d", point, progressed)
+	}
 	writeJSON(w, RenewResponse{Status: StatusOK, TTLMS: s.leaseTTL().Milliseconds()})
+}
+
+// handleRelease hands a lease back voluntarily — the graceful half of
+// lease expiry, used by draining workers. The point returns to the
+// queue with the released checkpoint as its progress, so the next
+// worker continues instead of restarting.
+func (s *Server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req ReleaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	now := s.now()
+	s.mu.Lock()
+	s.reclaim(now)
+	ru := s.leases[req.Lease]
+	if ru == nil {
+		s.mu.Unlock()
+		writeJSON(w, ReleaseResponse{Status: StatusGone})
+		return
+	}
+	delete(s.leases, req.Lease)
+	ru.lease = 0
+	if len(req.Checkpoint) > 0 && req.Instrs > ru.progressInstrs {
+		ru.progress = req.Checkpoint
+		ru.progressInstrs = req.Instrs
+	}
+	if len(ru.waiters) == 0 {
+		ru.state = runDone
+		ru.progress, ru.progressInstrs = nil, 0
+		delete(s.runs, ru.addr)
+	} else {
+		ru.state = runPending
+		s.queue = append(s.queue, ru)
+		s.logf("serve: lease %d on %s released @%d; re-queueing", req.Lease, ru.point, ru.progressInstrs)
+	}
+	s.mu.Unlock()
+	writeJSON(w, ReleaseResponse{Status: StatusOK})
 }
 
 func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
@@ -450,7 +753,8 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 	if ru == nil || ru.state == runDone {
 		s.mu.Unlock()
 		// Persist even an orphaned success: the work is done, let the
-		// store remember it.
+		// store remember it. (A duplicated completion delivery lands
+		// here too; Put is first-write-wins, so it is a no-op.)
 		if req.Error == "" && req.Result != nil {
 			if data, err := json.Marshal(req.Result); err == nil {
 				s.store.Put(addr, data)
@@ -464,6 +768,9 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		ru.lease = 0
 	}
 	ru.state = runDone
+	// Progress checkpoints are worth nothing once the point is done;
+	// drop the bytes with the run.
+	ru.progress, ru.progressInstrs = nil, 0
 	delete(s.runs, ru.addr)
 	waiters := ru.waiters
 	ru.waiters = nil
@@ -477,6 +784,9 @@ func (s *Server) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, CompleteResponse{Status: StatusOK})
 		return
 	}
+	// Persist before delivering: a journaled row entry implies its
+	// result is durably in the store, which is what lets a restarted
+	// server rebuild the row byte-for-byte.
 	if data, err := json.Marshal(req.Result); err == nil {
 		s.store.Put(ru.addr, data)
 	}
@@ -560,11 +870,14 @@ func (s *Server) reclaim(now time.Time) {
 		delete(s.leases, id)
 		ru.lease = 0
 		if len(ru.waiters) == 0 {
+			// Cancelled while leased: the run dies here, and its progress
+			// checkpoint — now orphaned — goes with it.
 			ru.state = runDone
+			ru.progress, ru.progressInstrs = nil, 0
 			delete(s.runs, ru.addr)
 			continue
 		}
-		s.logf("serve: lease %d on %s expired; re-queueing", id, ru.point)
+		s.logf("serve: lease %d on %s expired; re-queueing (progress @%d)", id, ru.point, ru.progressInstrs)
 		ru.state = runPending
 		s.queue = append(s.queue, ru)
 	}
@@ -585,14 +898,7 @@ func (s *Server) deliver(ref taskRef, res *sim.Result) {
 		seeds := j.seedsOf[ref.pointIdx]
 		j.shardSims[ref.pointIdx][ref.shardIdx] = res
 		s.emitRow(j, j.rowBase[ref.pointIdx]+ref.shardIdx, sweep.Result{Point: p.Shard(seeds[ref.shardIdx]), Sim: res}.Record())
-		complete := true
-		for _, sr := range j.shardSims[ref.pointIdx] {
-			if sr == nil {
-				complete = false
-				break
-			}
-		}
-		if complete {
+		if shardsComplete(j.shardSims[ref.pointIdx]) {
 			agg := sweep.NewAggregate(seeds, j.shardSims[ref.pointIdx])
 			s.emitRow(j, j.rowBase[ref.pointIdx]+len(seeds), sweep.Result{Point: p, Agg: agg}.Record())
 		}
@@ -602,7 +908,8 @@ func (s *Server) deliver(ref taskRef, res *sim.Result) {
 	}
 }
 
-// emitRow (mu held) appends one record row to the job's stream log.
+// emitRow (mu held) appends one record row to the job's stream log and
+// journals the delivery.
 func (s *Server) emitRow(j *job, pos int, rec sweep.Record) {
 	row, err := json.Marshal(rec)
 	if err != nil {
@@ -611,8 +918,14 @@ func (s *Server) emitRow(j *job, pos int, rec sweep.Record) {
 		s.failJob(j, fmt.Sprintf("marshal record: %v", err))
 		return
 	}
-	j.log = append(j.log, StreamEntry{Seq: len(j.log), Pos: pos, Row: row})
+	e := StreamEntry{Seq: len(j.log), Pos: pos, Row: row}
+	j.log = append(j.log, e)
 	j.rowsLeft--
+	if s.journal != nil {
+		if err := s.journal.Append(JournalEntry{T: journalRow, Job: j.id, Seq: e.Seq, Pos: e.Pos}); err != nil {
+			s.logf("serve: journal: %v", err)
+		}
+	}
 	close(j.notify)
 	j.notify = make(chan struct{})
 }
@@ -625,6 +938,11 @@ func (s *Server) finishJob(j *job, errmsg string) {
 	j.finished = true
 	j.errmsg = errmsg
 	j.log = append(j.log, StreamEntry{Seq: len(j.log), Done: true, Rows: j.totalRows, Err: errmsg})
+	if s.journal != nil {
+		if err := s.journal.Append(JournalEntry{T: journalDone, Job: j.id, Seq: len(j.log) - 1, Err: errmsg}); err != nil {
+			s.logf("serve: journal: %v", err)
+		}
+	}
 	close(j.notify)
 	j.notify = make(chan struct{})
 }
@@ -647,6 +965,7 @@ func (s *Server) failJob(j *job, errmsg string) {
 		ru.waiters = kept
 		if len(ru.waiters) == 0 && ru.state == runPending {
 			ru.state = runDone
+			ru.progress, ru.progressInstrs = nil, 0
 			delete(s.runs, addr)
 		}
 	}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -28,13 +29,32 @@ func Addr(kind, canonical string) string {
 // by Addr. Entries are immutable — simulation is deterministic, so two
 // writers of one address always carry identical-meaning bytes and the
 // first write wins. With a backing directory every entry is also
-// persisted (one file per address, written atomically), so a restarted
-// server serves memoized results without re-simulating; with dir == ""
-// the store is memory-only. Safe for concurrent use.
+// persisted (one file per address, written atomically and fsynced —
+// file and directory entry both — before Put returns), so a restarted
+// or power-cycled server serves memoized results without re-simulating;
+// with dir == "" the store is memory-only. Safe for concurrent use.
+//
+// For long-lived servers the in-memory layer can be bounded: with
+// MaxMemBytes set on a directory-backed store, the memory layer becomes
+// a size-capped LRU over the durable tier — evicted entries cost a file
+// read on the next Get, never a re-simulation. A memory-only store
+// ignores the cap (evicting would lose the only copy).
 type Store struct {
 	dir string
-	mu  sync.Mutex
-	mem map[string][]byte
+	// MaxMemBytes caps the total payload bytes held in memory (0 = no
+	// cap). Set before first use; it is read unlocked.
+	MaxMemBytes int64
+
+	mu      sync.Mutex
+	mem     map[string]*list.Element
+	lru     *list.List // front = most recent; values are *storeEntry
+	memSize int64
+}
+
+// storeEntry is one resident blob with its LRU bookkeeping.
+type storeEntry struct {
+	addr string
+	data []byte
 }
 
 // OpenStore opens (creating if needed) a store backed by dir, or a
@@ -45,7 +65,7 @@ func OpenStore(dir string) (*Store, error) {
 			return nil, fmt.Errorf("serve: open store: %w", err)
 		}
 	}
-	return &Store{dir: dir, mem: make(map[string][]byte)}, nil
+	return &Store{dir: dir, mem: make(map[string]*list.Element), lru: list.New()}, nil
 }
 
 // NewMemStore returns a memory-only store.
@@ -60,11 +80,13 @@ func NewMemStore() *Store {
 // the prefix; run cold").
 func (s *Store) Get(addr string) ([]byte, bool) {
 	s.mu.Lock()
-	data, ok := s.mem[addr]
-	s.mu.Unlock()
-	if ok {
+	if el, ok := s.mem[addr]; ok {
+		s.lru.MoveToFront(el)
+		data := el.Value.(*storeEntry).data
+		s.mu.Unlock()
 		return data, true
 	}
+	s.mu.Unlock()
 	if s.dir == "" {
 		return nil, false
 	}
@@ -74,10 +96,11 @@ func (s *Store) Get(addr string) ([]byte, bool) {
 	}
 	s.mu.Lock()
 	// First reader wins so every caller shares one slice.
-	if prev, ok := s.mem[addr]; ok {
-		data = prev
+	if el, ok := s.mem[addr]; ok {
+		data = el.Value.(*storeEntry).data
+		s.lru.MoveToFront(el)
 	} else {
-		s.mem[addr] = data
+		s.insert(addr, data)
 	}
 	s.mu.Unlock()
 	return data, true
@@ -85,15 +108,17 @@ func (s *Store) Get(addr string) ([]byte, bool) {
 
 // Put stores the blob at addr. An existing entry is left untouched
 // (entries are immutable and writers of one address are interchangeable,
-// see Store). The write to the backing directory is atomic — a crashed
-// server never leaves a torn entry for its successor to trust.
+// see Store). The write to the backing directory is atomic AND durable:
+// the temp file is fsynced before the rename and the directory entry is
+// fsynced after it, so a crashed — or power-lost — server never leaves
+// a torn or vanishing entry for its successor to trust.
 func (s *Store) Put(addr string, data []byte) error {
 	s.mu.Lock()
 	if _, ok := s.mem[addr]; ok {
 		s.mu.Unlock()
 		return nil
 	}
-	s.mem[addr] = data
+	s.insert(addr, data)
 	s.mu.Unlock()
 	if s.dir == "" {
 		return nil
@@ -111,6 +136,13 @@ func (s *Store) Put(addr string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: store put: %w", err)
 	}
+	// Data must be on stable storage before the rename publishes the
+	// entry, or a power loss could leave a visible, torn blob.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: store put: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: store put: %w", err)
@@ -119,7 +151,43 @@ func (s *Store) Put(addr string, data []byte) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("serve: store put: %w", err)
 	}
+	// And the rename itself must be durable: fsync the directory so the
+	// new entry survives power loss, not just process death.
+	if err := syncDir(s.dir); err != nil {
+		return fmt.Errorf("serve: store put: %w", err)
+	}
 	return nil
+}
+
+// insert (mu held) adds a resident entry and evicts LRU entries beyond
+// MaxMemBytes. Eviction needs a durable tier to fall back on, so a
+// memory-only store never evicts; and the entry just inserted is exempt
+// (a single over-cap blob must still be servable).
+func (s *Store) insert(addr string, data []byte) {
+	el := s.lru.PushFront(&storeEntry{addr: addr, data: data})
+	s.mem[addr] = el
+	s.memSize += int64(len(data))
+	if s.MaxMemBytes <= 0 || s.dir == "" {
+		return
+	}
+	for s.memSize > s.MaxMemBytes && s.lru.Len() > 1 {
+		oldest := s.lru.Back()
+		e := oldest.Value.(*storeEntry)
+		s.lru.Remove(oldest)
+		delete(s.mem, e.addr)
+		s.memSize -= int64(len(e.data))
+	}
+}
+
+// syncDir fsyncs a directory so a just-renamed entry's existence is
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // Len reports the number of entries resident in memory (not the backing
@@ -128,4 +196,12 @@ func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.mem)
+}
+
+// MemBytes reports the payload bytes resident in memory; it exists for
+// tests and stats.
+func (s *Store) MemBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.memSize
 }

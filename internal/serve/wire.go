@@ -93,18 +93,30 @@ type LeaseRequest struct {
 // LeaseResponse answers a lease request. With StatusPoint, Point is the
 // single-seed point spec to run, Lease the handle for renew/complete,
 // and TTLMS the lease deadline — the worker must renew (or complete)
-// within it or the server re-leases the point to another worker.
+// within it or the server re-leases the point to another worker. When a
+// previous holder of this point left a progress checkpoint behind (via
+// renew or release), Checkpoint carries it and Instrs the instruction
+// count it represents: the worker resumes there instead of starting
+// cold.
 type LeaseResponse struct {
-	Status  string       `json:"status"`
-	Lease   uint64       `json:"lease,omitempty"`
-	Point   *sweep.Point `json:"point,omitempty"`
-	TTLMS   int64        `json:"ttl_ms,omitempty"`
-	RetryMS int64        `json:"retry_ms,omitempty"`
+	Status     string       `json:"status"`
+	Lease      uint64       `json:"lease,omitempty"`
+	Point      *sweep.Point `json:"point,omitempty"`
+	TTLMS      int64        `json:"ttl_ms,omitempty"`
+	RetryMS    int64        `json:"retry_ms,omitempty"`
+	Checkpoint []byte       `json:"checkpoint,omitempty"`
+	Instrs     uint64       `json:"instrs,omitempty"`
 }
 
-// RenewRequest extends a lease: POST /v1/renew.
+// RenewRequest extends a lease: POST /v1/renew. A renewal may piggyback
+// a progress checkpoint of the leased point (Checkpoint, with Instrs
+// the instruction count it represents); the server keeps the
+// highest-count checkpoint per leased point and ships it with a
+// re-lease, so worker loss costs at most one renew interval of work.
 type RenewRequest struct {
-	Lease uint64 `json:"lease"`
+	Lease      uint64 `json:"lease"`
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	Instrs     uint64 `json:"instrs,omitempty"`
 }
 
 // RenewResponse answers a renewal: StatusOK with a fresh TTL, or
@@ -114,6 +126,25 @@ type RenewRequest struct {
 type RenewResponse struct {
 	Status string `json:"status"`
 	TTLMS  int64  `json:"ttl_ms,omitempty"`
+}
+
+// ReleaseRequest hands a lease back voluntarily: POST /v1/release. A
+// draining worker that cannot finish its point in time checkpoints it
+// and releases the lease; the server re-queues the point with the
+// checkpoint as its progress, so the handoff loses no work. Checkpoint
+// may be empty (release without progress — the point restarts from
+// whatever progress the server already holds).
+type ReleaseRequest struct {
+	Lease      uint64 `json:"lease"`
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	Instrs     uint64 `json:"instrs,omitempty"`
+}
+
+// ReleaseResponse acknowledges a release: StatusOK, or StatusGone when
+// the lease had already expired (harmless — the point was re-queued by
+// reclaim instead).
+type ReleaseResponse struct {
+	Status string `json:"status"`
 }
 
 // CompleteRequest reports a finished run: POST /v1/complete. Exactly
