@@ -14,6 +14,7 @@
 package emu
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 
@@ -145,7 +146,11 @@ type Stats struct {
 type CPU struct {
 	prog *isa.Program
 	plan *plan.Plan
-	regs [isa.NumDataflowRegs]uint64
+	// regs is the architectural register file plus the flags
+	// pseudo-register; only [0, isa.NumDataflowRegs) is live. The array is
+	// padded to 256 entries so indexing by a predecoded uint8 register
+	// number can never bounds-check in the fused dispatch loop.
+	regs [256]uint64
 	mem  []byte
 	pc   int
 
@@ -315,22 +320,11 @@ func (c *CPU) PBS() *core.Unit { return c.pbs }
 func (c *CPU) PC() int { return c.pc }
 
 func putWord(mem []byte, addr, v uint64) {
-	_ = mem[addr+7]
-	mem[addr] = byte(v)
-	mem[addr+1] = byte(v >> 8)
-	mem[addr+2] = byte(v >> 16)
-	mem[addr+3] = byte(v >> 24)
-	mem[addr+4] = byte(v >> 32)
-	mem[addr+5] = byte(v >> 40)
-	mem[addr+6] = byte(v >> 48)
-	mem[addr+7] = byte(v >> 56)
+	binary.LittleEndian.PutUint64(mem[addr:], v)
 }
 
 func getWord(mem []byte, addr uint64) uint64 {
-	_ = mem[addr+7]
-	return uint64(mem[addr]) | uint64(mem[addr+1])<<8 | uint64(mem[addr+2])<<16 |
-		uint64(mem[addr+3])<<24 | uint64(mem[addr+4])<<32 | uint64(mem[addr+5])<<40 |
-		uint64(mem[addr+6])<<48 | uint64(mem[addr+7])<<56
+	return binary.LittleEndian.Uint64(mem[addr:])
 }
 
 // ReadWord reads the 64-bit data word at addr (for tests and harnesses).
@@ -364,19 +358,37 @@ func bits(f float64) uint64   { return math.Float64bits(f) }
 // Run executes until HALT, a fault, or maxInstrs retired instructions
 // (0 = no limit). It returns nil on HALT and on hitting the instruction
 // budget, and flushes the trace sink before returning in every case.
+//
+// Run executes through the plan's superblock map: each dispatch covers
+// the whole maximal straight-line run from the current pc — interior
+// instructions in a fused loop that pays no per-instruction stepping
+// overhead, the terminating branch/probabilistic/halt instruction in a
+// single block-exit dispatch — with pc, the retired-instruction count
+// and the trace batch committed in bulk. Budget limits and trace-buffer
+// room truncate a dispatch to fewer instructions, so Run still stops on
+// exact instruction boundaries: chunked execution, observers,
+// checkpoints and faults see precisely the per-Step machine states. A
+// per-instruction Listener degrades to the Step loop, which is also the
+// reference the fused path is fuzzed against.
 func (c *CPU) Run(maxInstrs uint64) error {
-	for !c.halted {
-		if maxInstrs > 0 && c.stats.Instructions >= maxInstrs {
-			c.FlushTrace()
-			return nil
+	if c.listener != nil {
+		// Per-instruction callbacks observe the machine between every two
+		// instructions; fusion would batch their view, so don't fuse.
+		for !c.halted {
+			if maxInstrs > 0 && c.stats.Instructions >= maxInstrs {
+				break
+			}
+			if err := c.Step(); err != nil {
+				c.FlushTrace()
+				return err
+			}
 		}
-		if err := c.Step(); err != nil {
-			c.FlushTrace()
-			return err
-		}
+		c.FlushTrace()
+		return nil
 	}
+	err := c.runFused(maxInstrs)
 	c.FlushTrace()
-	return nil
+	return err
 }
 
 // Step executes a single instruction. Retired instructions reach a

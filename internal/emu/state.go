@@ -27,7 +27,7 @@ func (c *CPU) CheckpointState(w *ckpt.Writer) error {
 	}
 	w.Int(int64(c.pc))
 	w.Bool(c.halted)
-	w.Uint64s(c.regs[:])
+	w.Uint64s(c.regs[:isa.NumDataflowRegs])
 	w.Bytes(c.mem)
 	w.Uint(c.stats.Instructions)
 	w.Uint(c.stats.Branches)
@@ -67,8 +67,8 @@ func (c *CPU) RestoreState(r *ckpt.Reader) error {
 	if err := r.Err(); err != nil {
 		return err
 	}
-	if len(regs) != len(c.regs) {
-		return fmt.Errorf("emu: checkpoint has %d registers, machine has %d", len(regs), len(c.regs))
+	if len(regs) != isa.NumDataflowRegs {
+		return fmt.Errorf("emu: checkpoint has %d registers, machine has %d", len(regs), isa.NumDataflowRegs)
 	}
 	if len(mem) != len(c.mem) {
 		return fmt.Errorf("emu: checkpoint memory image is %d bytes, program needs %d", len(mem), len(c.mem))

@@ -1,0 +1,226 @@
+package plan
+
+// Structural invariants of the superblock map and the fusion vocabulary,
+// checked over the decode-edge-case program and every registered
+// workload in both prob variants: blocks partition the code, fusions
+// never cross a block or interior boundary, and the entry-anywhere
+// IntEnd table is consistent with the fused handler codes.
+
+import (
+	"testing"
+
+	"repro/internal/isa"
+	"repro/internal/workloads"
+)
+
+// fusionSets derives the fused-handler classification from the fusion
+// tables themselves, so the test tracks vocabulary changes.
+func fusionSets() (pairs, termPairs map[H]bool) {
+	pairs = make(map[H]bool)
+	for _, hp := range pairTable {
+		pairs[hp] = true
+	}
+	termPairs = make(map[H]bool)
+	for _, hp := range termPairTable {
+		termPairs[hp] = true
+	}
+	return
+}
+
+func checkPlanInvariants(t *testing.T, name string, p *Plan) {
+	t.Helper()
+	pairs, termPairs := fusionSets()
+	n := len(p.Code)
+	if len(p.BlockEnd) != n || len(p.IntEnd) != n {
+		t.Fatalf("%s: BlockEnd/IntEnd length %d/%d, code %d", name, len(p.BlockEnd), len(p.IntEnd), n)
+	}
+	for pc := 0; pc < n; pc++ {
+		e, term := p.Block(pc)
+		if e <= pc || e > n {
+			t.Fatalf("%s: pc %d: block end %d out of range", name, pc, e)
+		}
+		// Interior instructions never end a block; a terminated block's
+		// last instruction always does.
+		for j := pc; j < e-1; j++ {
+			if p.Code[j].EndsBlock() {
+				t.Fatalf("%s: pc %d: interior instruction %d ends the block [%d,%d)", name, pc, j, pc, e)
+			}
+		}
+		if term && !p.Code[e-1].EndsBlock() {
+			t.Fatalf("%s: pc %d: terminated block [%d,%d) does not end with a terminator", name, pc, e, pc)
+		}
+		if !term && e != n {
+			t.Fatalf("%s: pc %d: unterminated block ends at %d before program end %d", name, pc, e, n)
+		}
+
+		ie := int(p.IntEnd[pc])
+		if ie < pc || ie > e {
+			t.Fatalf("%s: pc %d: IntEnd %d outside [%d,%d]", name, pc, ie, pc, e)
+		}
+		if ie < e-1 {
+			// A short interior means this entry dispatches a fused
+			// terminator that claims Code[ie..e-1).
+			if !term {
+				t.Fatalf("%s: pc %d: IntEnd %d < %d in unterminated block", name, pc, ie, e)
+			}
+			hf := p.Code[e-1].HF
+			claimed := e - 1 - ie
+			switch {
+			case termPairs[hf]:
+				if claimed != 1 {
+					t.Fatalf("%s: pc %d: terminator pair %d claims %d interiors", name, pc, hf, claimed)
+				}
+			case hf == HPDrand48Ret:
+				if claimed != len(drand48Seq) {
+					t.Fatalf("%s: pc %d: HPDrand48Ret claims %d interiors, want %d", name, pc, claimed, len(drand48Seq))
+				}
+			default:
+				t.Fatalf("%s: pc %d: IntEnd %d < %d but terminator HF %d is not fused", name, pc, ie, e-1, hf)
+			}
+		}
+
+		// Walking the interior prefix by fused-handler widths must land
+		// exactly on IntEnd: no fusion straddles the boundary.
+		i := pc
+		for i < ie {
+			hf := p.Code[i].HF
+			w := 1
+			switch {
+			case hf == HPDrand48:
+				w = len(drand48Seq)
+			case pairs[hf]:
+				w = 2
+			case termPairs[hf] || hf == HPDrand48Ret:
+				t.Fatalf("%s: terminator handler %d in interior at %d", name, hf, i)
+			}
+			i += w
+		}
+		if i != ie {
+			t.Fatalf("%s: pc %d: interior walk overshoots IntEnd %d to %d", name, pc, ie, i)
+		}
+	}
+
+	// HF must be the plain handler everywhere a fusion does not start:
+	// walk the canonical block partition and collect fusion-start pcs.
+	isStart := make([]bool, n)
+	for pc := 0; pc < n; {
+		e, term := p.Block(pc)
+		ie := int(p.IntEnd[pc])
+		for i := pc; i < ie; {
+			hf := p.Code[i].HF
+			isStart[i] = true
+			switch {
+			case hf == HPDrand48:
+				i += len(drand48Seq)
+			case pairs[hf]:
+				i += 2
+			default:
+				i++
+			}
+		}
+		if term {
+			isStart[e-1] = true
+		}
+		pc = e
+	}
+	for i := 0; i < n; i++ {
+		if !isStart[i] && p.Code[i].HF != p.Code[i].H {
+			t.Fatalf("%s: instruction %d has fused HF %d without starting a fusion (H %d)", name, i, p.Code[i].HF, p.Code[i].H)
+		}
+	}
+}
+
+func TestSuperblockInvariants(t *testing.T) {
+	if p, err := For(testProgram()); err != nil {
+		t.Fatal(err)
+	} else {
+		checkPlanInvariants(t, "plan-test", p)
+	}
+	for _, w := range workloads.All() {
+		for _, prob := range []bool{false, true} {
+			prog, err := w.Build(workloads.DefaultParams(), prob)
+			if err != nil {
+				t.Fatalf("%s prob=%v: %v", w.Name, prob, err)
+			}
+			p, err := For(prog)
+			if err != nil {
+				t.Fatalf("%s prob=%v: %v", w.Name, prob, err)
+			}
+			checkPlanInvariants(t, w.Name, p)
+		}
+	}
+}
+
+// TestSuperblockFusesKnownPatterns pins that the vocabulary actually
+// fires on the workload corpus it was chosen from: the PI loop must
+// contain a fused compare-and-branch terminator and the soft-library
+// rand_u01 body must fuse into the drand48 superinstruction.
+func TestSuperblockFusesKnownPatterns(t *testing.T) {
+	w, err := workloads.ByName("PI")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := w.Build(workloads.DefaultParams(), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := For(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawDrand48, sawFusedTerm bool
+	_, termPairs := fusionSets()
+	for i := range p.Code {
+		hf := p.Code[i].HF
+		if hf == HPDrand48 || hf == HPDrand48Ret {
+			sawDrand48 = true
+		}
+		if termPairs[hf] {
+			sawFusedTerm = true
+		}
+	}
+	if !sawDrand48 {
+		t.Error("PI plan has no drand48 superinstruction")
+	}
+	if !sawFusedTerm {
+		t.Error("PI plan has no fused compare-and-branch terminator")
+	}
+	// Every basic block entry is reachable at runtime via branch targets;
+	// spot-check mid-fusion entry: an entry whose predecessor starts a
+	// pair must still get a well-formed interior walk (checked in full by
+	// checkPlanInvariants, asserted here for the fused-heavy PI plan).
+	checkPlanInvariants(t, "PI-prob", p)
+}
+
+// TestBlockHelperMatchesEncoding pins the sign convention of BlockEnd:
+// positive means Code[end-1] terminates the block, negative means the
+// block falls off the end of the program.
+func TestBlockHelperMatchesEncoding(t *testing.T) {
+	prog := &isa.Program{
+		Name: "tail",
+		Code: []isa.Instr{
+			{Op: isa.MOVI, Rd: 1, Imm: 1},
+			{Op: isa.JMP, Imm: 1}, // -> 3
+			{Op: isa.HALT},
+			{Op: isa.ADDI, Rd: 1, Ra: 1, Imm: 1},
+			{Op: isa.ADDI, Rd: 2, Ra: 2, Imm: 1}, // falls off the end
+		},
+		MemSize: 8,
+	}
+	p, err := For(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, term := p.Block(0); e != 2 || !term {
+		t.Errorf("Block(0) = %d,%v; want 2,true", e, term)
+	}
+	if e, term := p.Block(2); e != 3 || !term {
+		t.Errorf("Block(2) = %d,%v; want 3,true", e, term)
+	}
+	if e, term := p.Block(3); e != 5 || term {
+		t.Errorf("Block(3) = %d,%v; want 5,false", e, term)
+	}
+	if raw := p.BlockEnd[3]; raw >= 0 {
+		t.Errorf("BlockEnd[3] = %d; want negative (falls off program end)", raw)
+	}
+}

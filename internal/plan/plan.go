@@ -97,7 +97,87 @@ const (
 	HRandI
 
 	HOut
+
+	// Fused two-instruction handler codes ("superinstructions"). The
+	// decoder rewrites Decoded.HF — never H — to one of these when two
+	// adjacent instructions inside a superblock interior match a pair the
+	// block executor has a dedicated handler for: one dispatch then
+	// executes both instructions, each from its own Decoded record. The
+	// pair vocabulary is chosen by static frequency over the repo's bench
+	// workload corpus (see DESIGN.md §10); only the load/store pairs can
+	// fault, and they fault with Step's exact partial-commit semantics.
+	HPLoadImmLoadImm // MOVI/LDC ; MOVI/LDC
+	HPLoadImmFAdd    // MOVI/LDC ; FADD
+	HPLoadImmFMul    // MOVI/LDC ; FMUL
+	HPFMulLoadImm    // FMUL ; MOVI/LDC
+	HPFMulFAdd       // FMUL ; FADD
+	HPFMulFSub       // FMUL ; FSUB
+	HPFMulFMul       // FMUL ; FMUL
+	HPFAddFMul       // FADD ; FMUL
+	HPFSubFAdd       // FSUB ; FADD
+	HPMovFMul        // MOV ; FMUL
+	HPItoFFMul       // ITOF ; FMUL
+	HPAddImmShlImm   // ADDI ; SHLI
+	HPAddImmAddImm   // ADDI ; ADDI
+	HPAddImmCmp      // ADDI ; CMP
+	HPShrImmSt       // SHRI ; ST
+	HPLdMul          // LD ; MUL
+
+	// HPDrand48 fuses the eight-instruction drand48 step
+	// LD;MUL;ADDI;SHLI;SHRI;ST;ITOF;FMUL — the body of the software
+	// runtime's rand_u01 leaf (internal/workloads softlib), the single
+	// hottest straight-line run in every workload in the corpus. One
+	// dispatch executes all eight records; entries into the middle of the
+	// run execute as singles/pairs, and the two memory faults commit the
+	// preceding instructions exactly as Step would.
+	HPDrand48
+
+	// Fused terminators: one or more straight-line instructions claimed
+	// into the block-exit dispatch that consumes them (classic
+	// compare/branch macro-fusion, plus the corpus's hottest
+	// call/return-adjacent runs). These rewrite the terminator's HF — the
+	// claimed instructions keep their single-instruction HF, and
+	// Plan.IntEnd records the claimed extent per entry pc — and must stay
+	// last in the enum: the block executor's fused-terminator entries are
+	// exactly those with IntEnd < end-1, dispatching on the terminator's
+	// HF.
+	HPCmpJcc     // CMP ; Jcc
+	HPCmpImmJcc  // CMPI ; Jcc
+	HPFCmpJcc    // FCMP ; Jcc
+	HPProbCmpJmp // PROB_CMP ; terminal PROB_JMP
+	HPMovCall    // MOV ; CALL
+	HPDrand48Ret // drand48 step ; RET (the whole rand_u01 leaf body)
 )
+
+// pairTable maps adjacent interior handler pairs to their fused code.
+var pairTable = map[[2]H]H{
+	{HLoadImm, HLoadImm}: HPLoadImmLoadImm,
+	{HLoadImm, HFAdd}:    HPLoadImmFAdd,
+	{HLoadImm, HFMul}:    HPLoadImmFMul,
+	{HFMul, HLoadImm}:    HPFMulLoadImm,
+	{HFMul, HFAdd}:       HPFMulFAdd,
+	{HFMul, HFSub}:       HPFMulFSub,
+	{HFMul, HFMul}:       HPFMulFMul,
+	{HFAdd, HFMul}:       HPFAddFMul,
+	{HFSub, HFAdd}:       HPFSubFAdd,
+	{HMov, HFMul}:        HPMovFMul,
+	{HItoF, HFMul}:       HPItoFFMul,
+	{HAddImm, HShlImm}:   HPAddImmShlImm,
+	{HAddImm, HAddImm}:   HPAddImmAddImm,
+	{HAddImm, HCmp}:      HPAddImmCmp,
+	{HShrImm, HSt}:       HPShrImmSt,
+	{HLd, HMul}:          HPLdMul,
+}
+
+// termPairTable maps a compare directly preceding a conditional branch
+// to the fused terminator code.
+var termPairTable = map[[2]H]H{
+	{HCmp, HJcc}:         HPCmpJcc,
+	{HCmpImm, HJcc}:      HPCmpImmJcc,
+	{HFCmp, HJcc}:        HPFCmpJcc,
+	{HProbCmp, HProbJmp}: HPProbCmpJmp,
+	{HMov, HCall}:        HPMovCall,
+}
 
 // FUClass partitions instructions over the timing model's functional unit
 // pools (moved here from internal/pipeline so the plan can carry it).
@@ -135,6 +215,15 @@ const (
 	FMidProb
 )
 
+// RdDiscard is the scratch destination register number the decoder
+// substitutes for R0 destinations. The emulator pads its register file
+// past the architectural registers, so the fused hot loop writes every
+// result unconditionally: an R0 destination lands in this slot, which
+// nothing ever reads, instead of costing a discard branch per
+// instruction. Consumers of architectural dataflow use Src/Dst (where R0
+// is elided), never Rd.
+const RdDiscard = 0xFF
+
 // Decoded is one predecoded instruction. 32 bytes, laid out so the
 // emulator's dispatch and the pipeline's dataflow walk touch one cache
 // line per pair of instructions.
@@ -149,7 +238,7 @@ type Decoded struct {
 
 	Op isa.Op // original opcode, for faults and debug callbacks
 	H  H
-	Rd uint8
+	Rd uint8 // destination register; R0 remapped to RdDiscard
 	Ra uint8
 	Rb uint8
 
@@ -167,11 +256,181 @@ type Decoded struct {
 	NDst uint8
 	Src  [3]uint8
 	Dst  [2]uint8
+
+	// HF is the fused dispatch code the block executor switches on: equal
+	// to H, or an HP pair code meaning "execute this instruction and its
+	// successor in one dispatch" (the successor keeps its own single-
+	// instruction HF, so control entering a block mid-pair still executes
+	// correctly). Step and every other consumer use H.
+	HF H
 }
 
 // Plan is the decoded execution plan of one program.
 type Plan struct {
 	Code []Decoded
+
+	// BlockEnd is the superblock map: BlockEnd[pc] is the exclusive end of
+	// the maximal straight-line run containing pc. A run extends from any
+	// entry point up to and including its terminator — the first
+	// instruction at or after the entry that ends a block (see
+	// Decoded.EndsBlock: any control transfer, any probabilistic
+	// instruction, or HALT) — or to the end of the program if no
+	// terminator intervenes. Because runs are defined per entry pc rather
+	// than per leader, control may enter a run at any offset (a branch
+	// into the middle of straight-line code, a checkpoint restored
+	// mid-run) and the map still yields the correct tail: for every pc,
+	// the run is straight-line except possibly its final instruction,
+	// which is the only instruction in the run that may redirect control,
+	// fault the group state, or halt. The emulator's fused dispatch
+	// (internal/emu) executes one such tail per dispatch instead of one
+	// instruction.
+	//
+	// The sign encodes whether the run has a terminator, so the dispatch
+	// loop learns both bounds and exit kind from one load: BlockEnd[pc] =
+	// end > 0 means Code[end-1] is the terminator of run [pc, end);
+	// BlockEnd[pc] = -end means run [pc, end) extends to the program end
+	// with no terminator (execution then falls off and faults on the
+	// out-of-range pc). Use Block for the decoded form.
+	BlockEnd []int32
+
+	// IntEnd complements BlockEnd for the fused dispatch: IntEnd[pc] is
+	// the absolute end of the interior (individually dispatched) prefix
+	// of the run from pc. A fused terminator (HF of the run's final
+	// instruction rewritten to a terminator-pair code) claims the
+	// instructions in [IntEnd[pc], end-1) into the terminator dispatch,
+	// so IntEnd < end-1 iff the entry executes a fused terminator; an
+	// entry inside a claimed region gets IntEnd[pc] = end-1 and executes
+	// the claimed instructions as plain interiors instead. The block
+	// executor derives the interior count (IntEnd[pc] - pc) and the
+	// fused-terminator test (IntEnd[pc] < end-1) from one load instead
+	// of inspecting the terminator per dispatch.
+	IntEnd []int32
+}
+
+// Block returns the maximal straight-line run [pc, end) containing pc
+// and whether its final instruction is a block terminator (false only
+// when the run falls off the program end). It is the decoded form of
+// BlockEnd[pc].
+func (p *Plan) Block(pc int) (end int, term bool) {
+	e := int(p.BlockEnd[pc])
+	if e < 0 {
+		return -e, false
+	}
+	return e, true
+}
+
+// EndsBlock reports whether this instruction terminates a superblock: any
+// control transfer (jump, conditional jump, call, return, terminal
+// PROB_JMP) or HALT. Everything else — including PROB_CMP and
+// value-transfer PROB_JMPs, which manipulate the open-group state but
+// never redirect control — is straight-line and may be fused into a
+// block interior (group-state violations fault from the interior with
+// Step's exact partial-commit semantics, like any interior memory
+// fault).
+func (d *Decoded) EndsBlock() bool {
+	return d.Flags&FBranch != 0 || d.H == HHalt
+}
+
+// NumBlocks returns the number of maximal straight-line runs the program
+// partitions into when entered from pc 0 (diagnostic; the emulator only
+// uses BlockEnd).
+func (p *Plan) NumBlocks() int {
+	n := 0
+	for pc := 0; pc < len(p.Code); {
+		end, _ := p.Block(pc)
+		pc = end
+		n++
+	}
+	return n
+}
+
+// computeBlocks fills BlockEnd with a single backward scan: a terminator
+// at pc closes the run [.., pc+1); every pc above an unclosed suffix
+// shares the (negatively encoded) program end.
+func (p *Plan) computeBlocks() {
+	n := len(p.Code)
+	p.BlockEnd = make([]int32, n)
+	end := int32(-n)
+	for pc := n - 1; pc >= 0; pc-- {
+		if p.Code[pc].EndsBlock() {
+			end = int32(pc + 1)
+		}
+		p.BlockEnd[pc] = end
+	}
+}
+
+// fusePairs initializes every HF to H, then greedily rewrites the HF of
+// pair-start instructions to fused codes, anchored at each block's
+// leader and never crossing a block terminator. Instructions consumed as
+// the second half of a pair keep their single-instruction HF, so a
+// branch targeting (or a checkpoint resuming at) the middle of a pair
+// executes it as a plain single.
+func (p *Plan) fusePairs() {
+	for i := range p.Code {
+		p.Code[i].HF = p.Code[i].H
+	}
+	p.IntEnd = make([]int32, len(p.Code))
+	for pc := 0; pc < len(p.Code); {
+		end, term := p.Block(pc)
+		ni := end
+		if term {
+			ni--
+			// Fuse straight-line predecessors into the terminator first; the
+			// claimed instructions are then excluded from interior pairing
+			// so no instruction is ever part of two fusions.
+			if ni-1 >= pc {
+				if tp, ok := termPairTable[[2]H{p.Code[ni-1].H, p.Code[ni].H}]; ok {
+					p.Code[ni].HF = tp
+					ni--
+				} else if p.Code[ni].H == HRet && ni-len(drand48Seq) >= pc &&
+					matchSeq(p.Code[ni-len(drand48Seq):ni], drand48Seq[:]) {
+					p.Code[ni].HF = HPDrand48Ret
+					ni -= len(drand48Seq)
+				}
+			}
+		}
+		// Per-entry interior extent: entries at or before the claimed
+		// region execute the fused terminator; entries inside it execute
+		// the claimed instructions as plain interiors instead (IntEnd
+		// points past them, at the terminator).
+		for j := pc; j < end; j++ {
+			ie := ni
+			if j > ni {
+				ie = end
+				if term {
+					ie = end - 1
+				}
+			}
+			p.IntEnd[j] = int32(ie)
+		}
+		for i := pc; i+1 < ni; {
+			if i+len(drand48Seq) <= ni && matchSeq(p.Code[i:i+len(drand48Seq)], drand48Seq[:]) {
+				p.Code[i].HF = HPDrand48
+				i += len(drand48Seq)
+				continue
+			}
+			if hp, ok := pairTable[[2]H{p.Code[i].H, p.Code[i+1].H}]; ok {
+				p.Code[i].HF = hp
+				i += 2
+			} else {
+				i++
+			}
+		}
+		pc = end
+	}
+}
+
+// drand48Seq is the handler sequence HPDrand48 fuses.
+var drand48Seq = [8]H{HLd, HMul, HAddImm, HShlImm, HShrImm, HSt, HItoF, HFMul}
+
+// matchSeq reports whether the instructions' handlers equal seq.
+func matchSeq(code []Decoded, seq []H) bool {
+	for i, h := range seq {
+		if code[i].H != h {
+			return false
+		}
+	}
+	return true
 }
 
 // classify maps an opcode to its functional unit class, result latency,
@@ -268,6 +527,9 @@ func decode(prog *isa.Program, pc int, ins isa.Instr) Decoded {
 		Ra: uint8(ins.Ra),
 		Rb: uint8(ins.Rb),
 	}
+	if d.Rd == 0 {
+		d.Rd = RdDiscard
+	}
 	d.H = handlerFor[ins.Op]
 	d.FU, d.Lat, d.Occ = classify(ins.Op)
 
@@ -330,6 +592,8 @@ func build(prog *isa.Program) *Plan {
 	for pc, ins := range prog.Code {
 		p.Code[pc] = decode(prog, pc, ins)
 	}
+	p.computeBlocks()
+	p.fusePairs()
 	return p
 }
 

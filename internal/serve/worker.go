@@ -361,7 +361,10 @@ func (w *Worker) runPoint(ctx context.Context, p sweep.Point) (*sim.Result, erro
 func (w *Worker) warmBytes(ctx context.Context, wp sweep.Point) (data []byte, cold bool, err error) {
 	for {
 		var wr WarmResponse
-		if err := w.post(ctx, "/v1/warm", WarmRequest{Point: wp}, &wr); err != nil {
+		// Retried like every other protocol request: a dropped response
+		// just re-asks, which the server treats as a duplicated delivery
+		// (an outstanding build token answers wait until its deadline).
+		if err := w.postRetry(ctx, "/v1/warm", WarmRequest{Point: wp}, &wr); err != nil {
 			return nil, false, err
 		}
 		switch wr.Status {

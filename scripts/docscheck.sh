@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# scripts/docscheck.sh — documentation hygiene gate.
+#
+# Fails on:
+#   - relative markdown links (in README.md, DESIGN.md, ROADMAP.md,
+#     PAPER.md, PAPERS.md, CHANGES.md) pointing at files that do not
+#     exist,
+#   - Go packages under internal/ or cmd/ missing a package-level doc
+#     comment ("// Package <name> ..."), so `go doc ./internal/...`
+#     stays a readable architecture index,
+#   - gofmt-dirty files.
+#
+# Dependency-free by design: bash + grep + gofmt, nothing to install.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- relative markdown links must resolve ---------------------------------
+docs=(README.md DESIGN.md ROADMAP.md PAPER.md PAPERS.md CHANGES.md)
+for doc in "${docs[@]}"; do
+  [ -f "$doc" ] || continue
+  # Extract (target) of [text](target), one per line; ignore web links,
+  # mailto, and pure intra-document anchors.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$path" ]; then
+      echo "docscheck: $doc links to missing file: $target" >&2
+      fail=1
+    fi
+  done < <(grep -o '\[[^]]*\]([^)]*)' "$doc" | sed 's/.*(\(.*\))/\1/')
+done
+
+# --- every package needs a package doc comment ----------------------------
+# Library packages must carry the canonical "// Package <name> ..." form;
+# command mains just need a doc comment block directly above the package
+# clause (godoc renders either).
+for dir in internal/*/; do
+  [ -d "$dir" ] || continue
+  pkg="$(basename "$dir")"
+  if ! grep -qs "^// Package $pkg " "$dir"*.go; then
+    echo "docscheck: package $dir has no '// Package $pkg ...' doc comment" >&2
+    fail=1
+  fi
+done
+for dir in cmd/*/; do
+  [ -d "$dir" ] || continue
+  if ! grep -hs -B1 '^package main$' "$dir"*.go | grep -qs '^//'; then
+    echo "docscheck: command $dir has no doc comment above 'package main'" >&2
+    fail=1
+  fi
+done
+
+# --- gofmt ----------------------------------------------------------------
+dirty="$(gofmt -l .)"
+if [ -n "$dirty" ]; then
+  echo "docscheck: gofmt needed on:" >&2
+  echo "$dirty" >&2
+  fail=1
+fi
+
+if [ "$fail" -ne 0 ]; then
+  exit 1
+fi
+echo "docscheck: OK" >&2
