@@ -24,9 +24,11 @@ import (
 	"context"
 	"fmt"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 	"repro/internal/workloads"
@@ -243,6 +245,54 @@ func BenchmarkSweep(b *testing.B) {
 		points += len(res)
 	}
 	b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSampledTiming measures the SMARTS sampled-timing speedup:
+// the same configuration runs once with the full timing model and once
+// under a sparse sampling schedule (~3% of instructions in detailed
+// windows, the rest on the emulator's untraced fast path), and the
+// benchmark reports both throughputs plus their ratio. sampled-instr/s
+// counts retired instructions per wall-clock second of the sampled run
+// — the number the ≥5× speedup target gates — while the accuracy
+// contract (full-run IPC inside the sampled 95% CI on every golden
+// config) is pinned by TestSampledAccuracy in internal/sim.
+func BenchmarkSampledTiming(b *testing.B) {
+	cfg := sim.Config{Workload: "PI", Seed: 1, Params: workloads.Params{Scale: 8}, Predictor: sim.PredTAGESCL}
+	sc := sample.Config{Window: 10_007, Period: 2_000_003, Warmup: 50_021}
+	var fullSec, sampSec float64
+	var instrs uint64
+	var fullIPC float64
+	var est *sample.Estimate
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		full, err := sim.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullSec += time.Since(start).Seconds()
+
+		scfg := cfg
+		scfg.Sample = &sc
+		start = time.Now()
+		res, err := sim.Run(scfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampSec += time.Since(start).Seconds()
+
+		instrs += res.Emu.Instructions
+		fullIPC = full.Timing.IPC()
+		est = res.Sampled
+	}
+	b.ReportMetric(float64(instrs)/sampSec, "sampled-instr/s")
+	b.ReportMetric(float64(instrs)/fullSec, "full-instr/s")
+	b.ReportMetric(fullSec/sampSec, "speedup")
+	b.ReportMetric(est.IPC.Mean, "IPC")
+	b.Logf("full %.3fs vs sampled %.3fs (%.1fx); full IPC %.4f, sampled %.4f ± %.4f over %d windows",
+		fullSec, sampSec, fullSec/sampSec, fullIPC, est.IPC.Mean, est.IPCHalfWidth(), est.Windows)
+	if !est.IPC.CI.Contains(fullIPC) {
+		b.Errorf("full IPC %.4f outside sampled 95%% CI [%.4f, %.4f]", fullIPC, est.IPC.CI.Lo, est.IPC.CI.Hi)
+	}
 }
 
 // PBS hardware-table microbenchmark: resolution throughput of the unit

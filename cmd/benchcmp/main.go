@@ -53,6 +53,7 @@ var gatedMetrics = []struct {
 	higherBetter bool
 }{
 	{"sim-instr/s", true},
+	{"sampled-instr/s", true},
 	{"instr/s", true},
 	{"points/s", true},
 	{"allocs/op", false},

@@ -28,6 +28,7 @@ import (
 	"repro/internal/branch"
 	"repro/internal/pipeline"
 	"repro/internal/prof"
+	sample2 "repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -43,6 +44,10 @@ func main() {
 		filter    = flag.Bool("filter-prob", false, "exclude probabilistic branches from the predictor (Fig 9 experiment)")
 		syncT     = flag.Bool("sync-timing", false, "run the timing model synchronously on the emulating goroutine (escape hatch; by default it consumes the trace on its own goroutine when more than one CPU is available)")
 		sample    = flag.Uint64("sample", 0, "print an interval snapshot every N retired instructions (0 = off)")
+		sampleWin = flag.Uint64("sample-window", 0, "SMARTS sampled timing: measured-window length in instructions (needs -sample-period)")
+		samplePer = flag.Uint64("sample-period", 0, "SMARTS sampled timing: measure one window every N retired instructions, fast-forwarding the gaps (0 = full timing)")
+		sampleWrm = flag.Uint64("sample-warmup", 0, "SMARTS sampled timing: detailed-warming instructions ahead of each window")
+		sampleFW  = flag.Bool("sample-func-warm", false, "SMARTS sampled timing: keep caches and predictor functionally warm across fast-forward gaps")
 		ckptOut   = flag.String("checkpoint-out", "", "write a machine checkpoint to this file")
 		ckptAt    = flag.Uint64("checkpoint-at", 0, "take the -checkpoint-out checkpoint once N instructions have retired (0 = at the end of the run)")
 		resume    = flag.String("resume", "", "resume from a checkpoint file; the machine configuration comes from the checkpoint, so only scheduling and output flags apply")
@@ -82,6 +87,13 @@ func main() {
 	}
 	if *syncT {
 		opts = append(opts, sim.WithSyncTiming())
+	}
+	sampleCfg := sample2.Config{Window: *sampleWin, Period: *samplePer, Warmup: *sampleWrm, FuncWarm: *sampleFW}
+	if *samplePer > 0 {
+		opts = append(opts, sim.WithSampledTiming(sampleCfg))
+	} else if *sampleWin > 0 || *sampleWrm > 0 || *sampleFW {
+		fmt.Fprintln(os.Stderr, "pbsim: -sample-window/-sample-warmup/-sample-func-warm need -sample-period")
+		os.Exit(2)
 	}
 	switch *wide {
 	case 4:
@@ -127,6 +139,12 @@ func main() {
 		var ropts []sim.Option
 		if *syncT {
 			ropts = append(ropts, sim.WithSyncTiming())
+		}
+		if *samplePer > 0 {
+			// The schedule is a function of the absolute retired count, so
+			// the resumed run rejoins it exactly where the checkpoint left
+			// off (or starts sampling there, for a full-run checkpoint).
+			ropts = append(ropts, sim.WithSampledTiming(sampleCfg))
 		}
 		s, err = sim.Resume(ck, ropts...)
 		if err != nil {
@@ -184,7 +202,15 @@ func main() {
 	fmt.Printf("workload      %s (PBS %v, %s predictor, %d-wide)\n", res.Workload, showPBS, showPred, showWide)
 	fmt.Printf("instructions  %d\n", m.Instructions)
 	fmt.Printf("cycles        %d\n", m.Cycles)
-	fmt.Printf("IPC           %.3f\n", m.IPC())
+	if e := res.Sampled; e != nil {
+		fmt.Printf("IPC           %.3f ± %.3f (sampled 95%% CI [%.3f, %.3f], %d windows of %d)\n",
+			e.IPC.Mean, e.IPCHalfWidth(), e.IPC.CI.Lo, e.IPC.CI.Hi, e.Windows, sampleCfg.Window)
+		fmt.Printf("sampled MPKI  %.2f ± %.2f\n", e.MPKI.Mean, e.MPKIHalfWidth())
+		fmt.Printf("sampled run   measured %d, warmed %d, fast-forwarded %d instrs\n",
+			e.InstrsMeasured, e.InstrsWarmed, e.InstrsFastForwarded)
+	} else {
+		fmt.Printf("IPC           %.3f\n", m.IPC())
+	}
 	fmt.Printf("branches      %d (%d conditional, %d probabilistic)\n", m.Branches, m.CondBranches, m.ProbBranches)
 	fmt.Printf("mispredicts   %d (MPKI %.2f; prob %.2f, regular %.2f)\n",
 		m.Mispredicts, m.MPKI(), m.MPKIProb(), m.MPKIReg())

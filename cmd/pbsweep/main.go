@@ -231,6 +231,10 @@ func runBatch(args []string) {
 		shard     = fs.Bool("shard-seeds", false, "collapse the seed axis: run each coordinate as one aggregate point whose per-seed shards fan across the worker pool; output gains a mean/95%-CI aggregate row per point alongside the per-seed rows")
 		syncT     = fs.Bool("sync-timing", false, "force synchronous timing in every simulation (escape hatch; by default the engine overlaps emulation and timing per point only when the worker pool leaves cores idle)")
 		warm      = fs.Uint64("warm-prefix", 0, "fast-forward each point over its first N instructions via a functional checkpoint shared across points that differ only in timing axes; timing metrics then cover the post-prefix suffix (0 = run every point cold)")
+		sampleWin = fs.Uint64("sample-window", 0, "SMARTS sampled timing: measured-window length in instructions (needs -sample-period)")
+		samplePer = fs.Uint64("sample-period", 0, "SMARTS sampled timing: measure one window every N retired instructions per point, fast-forwarding the gaps; rows then carry the IPC/MPKI estimate and its 95% CI (0 = full timing)")
+		sampleWrm = fs.Uint64("sample-warmup", 0, "SMARTS sampled timing: detailed-warming instructions ahead of each window")
+		sampleFW  = fs.Bool("sample-func-warm", false, "SMARTS sampled timing: keep caches and predictor functionally warm across fast-forward gaps")
 		scale     = fs.Int("scale", 1, "workload iteration scale")
 		parallel  = fs.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		server    = fs.String("server", "", "submit the grid to a sweep job server at this base URL instead of simulating in-process")
@@ -270,6 +274,21 @@ func runBatch(args []string) {
 	grid, err := gridFromFlags(*spec, *workload, *predictor, *pbs, *widths, *seeds, *variants, *scale, *parallel, *warm, *shard, *syncT)
 	if err != nil {
 		fail(err)
+	}
+	// The sampling flags follow the -warm-prefix convention: set on the
+	// command line they win over a spec's sample_* fields; their zero
+	// defaults leave the spec's schedule alone.
+	if *samplePer != 0 {
+		grid.SamplePeriod = *samplePer
+	}
+	if *sampleWin != 0 {
+		grid.SampleWindow = *sampleWin
+	}
+	if *sampleWrm != 0 {
+		grid.SampleWarmup = *sampleWrm
+	}
+	if *sampleFW {
+		grid.SampleFuncWarm = true
 	}
 
 	// A signal cancels the run; completed records still flush below.

@@ -170,6 +170,12 @@ type CPU struct {
 	// path's single "tracing?" predicate.
 	buf    []DynInstr
 	bufArr [TraceBatch]DynInstr
+	// pausedBuf stashes buf while trace delivery is paused (see
+	// PauseTrace): the installed sink/ring stays wired, but buf goes nil
+	// so Run takes the untraced fused fast path. With a ring, the stash
+	// keeps ownership of the ring buffer the CPU held.
+	pausedBuf []DynInstr
+	paused    bool
 
 	group probGroup
 
@@ -212,6 +218,7 @@ func New(prog *isa.Program, r *rng.Stream, pbs *core.Unit) (*CPU, error) {
 // entry is lost across the switch.
 func (c *CPU) SetListener(l Listener) {
 	c.FlushTrace()
+	c.clearPause()
 	c.listener = l
 	c.sink = nil
 	c.ring = nil
@@ -224,6 +231,7 @@ func (c *CPU) SetListener(l Listener) {
 // destination are flushed to it first.
 func (c *CPU) SetTraceSink(s TraceSink) {
 	c.FlushTrace()
+	c.clearPause()
 	c.sink = s
 	c.listener = nil
 	c.ring = nil
@@ -243,6 +251,7 @@ func (c *CPU) SetTraceSink(s TraceSink) {
 // exchange backpressure would block forever.
 func (c *CPU) SetTraceRing(r TraceRing) {
 	c.FlushTrace()
+	c.clearPause()
 	c.ring = r
 	c.sink = nil
 	c.listener = nil
@@ -271,6 +280,48 @@ func (c *CPU) FlushTrace() {
 	default:
 		c.buf = c.buf[:0]
 	}
+}
+
+// PauseTrace suspends trace delivery without tearing the installed sink
+// or ring down: buffered entries are flushed to it first, then the batch
+// buffer is stashed and the tracing predicate (buf != nil) goes false,
+// so Run executes on the untraced fused fast path — zero per-instruction
+// trace cost. This is the fast-forward mechanism of sampled timing (see
+// internal/sample): the machine's functional execution is exactly the
+// traced run's, only delivery stops. With a ring installed, the flush
+// requires the ring's consumer to be live, like any trace delivery; the
+// stashed buffer keeps its ring ownership while paused, so consumer
+// goroutines may stop and restart around a paused stretch. A no-op when
+// already paused or when no trace destination is installed.
+func (c *CPU) PauseTrace() {
+	if c.paused || c.buf == nil {
+		return
+	}
+	c.FlushTrace()
+	c.pausedBuf = c.buf[:0]
+	c.buf = nil
+	c.paused = true
+}
+
+// ResumeTrace re-enables delivery after PauseTrace; instructions retired
+// from here on reach the sink or ring again. A no-op when not paused.
+func (c *CPU) ResumeTrace() {
+	if !c.paused {
+		return
+	}
+	c.buf = c.pausedBuf
+	c.pausedBuf = nil
+	c.paused = false
+}
+
+// TracePaused reports whether trace delivery is paused.
+func (c *CPU) TracePaused() bool { return c.paused }
+
+// clearPause drops pause state when a setter installs a new trace
+// destination: the stashed buffer belonged to the old destination.
+func (c *CPU) clearPause() {
+	c.pausedBuf = nil
+	c.paused = false
 }
 
 // Halted reports whether the program has executed HALT.

@@ -132,6 +132,30 @@ type Metrics struct {
 	L1IAccesses, L1DAccesses       uint64
 }
 
+// Delta returns the change from prev to m: every counter is m's value
+// minus prev's. prev must be an earlier sample of the same pipeline, so
+// counters never decrease. Interval rates fall out directly: the IPC
+// over a window is cur.Delta(base).IPC().
+func (m Metrics) Delta(prev Metrics) Metrics {
+	m.Instructions -= prev.Instructions
+	m.Cycles -= prev.Cycles
+	m.Branches -= prev.Branches
+	m.CondBranches -= prev.CondBranches
+	m.ProbBranches -= prev.ProbBranches
+	m.ProbSteered -= prev.ProbSteered
+	m.ProbBoot -= prev.ProbBoot
+	m.ProbRegular -= prev.ProbRegular
+	m.Mispredicts -= prev.Mispredicts
+	m.MispredictsProb -= prev.MispredictsProb
+	m.MispredictsReg -= prev.MispredictsReg
+	m.L1IMisses -= prev.L1IMisses
+	m.L1DMisses -= prev.L1DMisses
+	m.L2Misses -= prev.L2Misses
+	m.L1IAccesses -= prev.L1IAccesses
+	m.L1DAccesses -= prev.L1DAccesses
+	return m
+}
+
 // IPC returns retired instructions per cycle.
 func (m Metrics) IPC() float64 {
 	if m.Cycles == 0 {
@@ -141,6 +165,14 @@ func (m Metrics) IPC() float64 {
 }
 
 // MPKI returns mispredictions per 1000 instructions.
+// CPI returns cycles per retired instruction (0 before any retire).
+func (m Metrics) CPI() float64 {
+	if m.Instructions == 0 {
+		return 0
+	}
+	return float64(m.Cycles) / float64(m.Instructions)
+}
+
 func (m Metrics) MPKI() float64 {
 	if m.Instructions == 0 {
 		return 0
@@ -294,6 +326,27 @@ type Pipeline struct {
 	// functional units: backfill scheduler
 	fus fuSched
 
+	// Sampled-timing window state (see internal/sample and
+	// sim.WithSampledTiming). winBase is the resettable delta baseline:
+	// BeginWindow copies the live counters into it, WindowDelta
+	// subtracts it back out, so a measurement window's metrics cost two
+	// struct copies rather than a second counter set on the retire path.
+	// warming flags the detailed-warming phase — the model runs at full
+	// fidelity either way (warming exists precisely to update predictor
+	// and cache state), so the flag steers only what the session does
+	// with the counters, never the timing itself.
+	winBase Metrics
+	warming bool
+
+	// funcWarm switches ConsumeTrace to the functional-warming path:
+	// caches and predictor keep evolving (tag/history state only — no
+	// cycle accounting, no Metrics movement), so a later measurement
+	// window does not see state that went stale across a fast-forward
+	// gap. The flag is owned by the session and only flipped at a trace
+	// rendezvous (ring drained), so the consumer goroutine never observes
+	// a mid-batch change.
+	funcWarm bool
+
 	// DebugBlock, when set, is invoked whenever a misprediction pushes
 	// fetchBlockedUntil forward (diagnostics only).
 	DebugBlock func(pc int32, op isa.Op, execDone, until uint64)
@@ -357,6 +410,12 @@ func New(cfg Config, prog *isa.Program, pred branch.Predictor) (*Pipeline, error
 // instructions in program order. Pass the pipeline to
 // emu.CPU.SetTraceSink.
 func (p *Pipeline) ConsumeTrace(batch []emu.DynInstr) {
+	if p.funcWarm {
+		for i := range batch {
+			p.warmRetire(&batch[i])
+		}
+		return
+	}
 	for i := range batch {
 		p.retire(&batch[i])
 	}
@@ -364,7 +423,50 @@ func (p *Pipeline) ConsumeTrace(batch []emu.DynInstr) {
 
 // OnRetire consumes one retired instruction (the legacy per-instruction
 // path; pass it to emu.CPU.SetListener).
-func (p *Pipeline) OnRetire(di emu.DynInstr) { p.retire(&di) }
+func (p *Pipeline) OnRetire(di emu.DynInstr) {
+	if p.funcWarm {
+		p.warmRetire(&di)
+		return
+	}
+	p.retire(&di)
+}
+
+// SetFuncWarm flips the functional-warming consume path. Callers must
+// only flip it at a trace rendezvous (no batches in flight).
+func (p *Pipeline) SetFuncWarm(on bool) { p.funcWarm = on }
+
+// FuncWarm reports whether the functional-warming path is active.
+func (p *Pipeline) FuncWarm() bool { return p.funcWarm }
+
+// warmRetire is the functional-warming counterpart of retire: it feeds
+// the instruction's cache and predictor footprint through the models —
+// the same accesses, the same update policy, the same streak bypass as
+// the detailed path — and nothing else. No cycle accounting, no fetch
+// or dataflow modelling, no Metrics movement; the long-lived state that
+// survives a fast-forward gap (cache tags, predictor tables and
+// histories) stays exactly what a detailed run would have left behind.
+func (p *Pipeline) warmRetire(di *emu.DynInstr) {
+	d := &p.plan.Code[di.PC]
+	if iblock := uint64(di.PC) >> p.iblockShift; iblock != p.lastIBlock {
+		p.lastIBlock = iblock
+		p.hier.InstrLatency(uint64(di.PC) * 8)
+	} else {
+		p.hier.L1I.Hits++
+	}
+	if d.Flags&(plan.FLoad|plan.FStore) != 0 {
+		p.hier.DataLatency(di.MemAddr)
+	}
+	if d.Flags&plan.FBranch == 0 || d.Flags&(plan.FMidProb|plan.FCond) != plan.FCond || p.cfg.PerfectBranches {
+		return
+	}
+	if di.Prob != emu.ProbNone && (di.Prob == emu.ProbSteered || p.cfg.FilterProb) {
+		// Steered and filtered probabilistic branches never touch the
+		// predictor in the detailed path either.
+		return
+	}
+	pred := p.pred.Predict(uint64(di.PC))
+	p.pred.Update(uint64(di.PC), di.Taken, pred)
+}
 
 // retire advances the timing model by one retired instruction.
 func (p *Pipeline) retire(di *emu.DynInstr) {
@@ -565,6 +667,28 @@ func (p *Pipeline) handleBranch(di *emu.DynInstr, d *plan.Decoded, fc, execDone 
 // Metrics returns the accumulated metrics. Call after the emulator run
 // completes (with a TraceSink attachment, after the final flush).
 func (p *Pipeline) Metrics() Metrics { return p.m }
+
+// SetWarming flips the detailed-warming flag. While warming the model
+// simulates at full fidelity (that is the point — predictor, cache and
+// pipeline state keep evolving) but the session excludes the interval
+// from the measured-window population.
+func (p *Pipeline) SetWarming(on bool) { p.warming = on }
+
+// Warming reports whether the pipeline is in the detailed-warming phase.
+func (p *Pipeline) Warming() bool { return p.warming }
+
+// BeginWindow resets the delta baseline: a following WindowDelta covers
+// exactly the instructions retired since this call.
+func (p *Pipeline) BeginWindow() { p.winBase = p.m }
+
+// WindowDelta returns the counters accumulated since BeginWindow.
+func (p *Pipeline) WindowDelta() Metrics { return p.m.Delta(p.winBase) }
+
+// WindowBase returns the current delta baseline (checkpoint support).
+func (p *Pipeline) WindowBase() Metrics { return p.winBase }
+
+// SetWindowBase restores a delta baseline (checkpoint support).
+func (p *Pipeline) SetWindowBase(m Metrics) { p.winBase = m }
 
 // Caches exposes the cache hierarchy for inspection.
 func (p *Pipeline) Caches() *cache.Hierarchy { return p.hier }

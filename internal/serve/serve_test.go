@@ -301,3 +301,78 @@ func TestStoreRoundTrip(t *testing.T) {
 		t.Error("address namespaces collide")
 	}
 }
+
+// TestSampledGridDedup covers sampled timing through the service: a
+// sampled grid streams rows byte-identical (JSON and CSV, CI columns
+// included) to the in-process engine, and re-submitting the same grid
+// is answered entirely from the content-addressed store — zero extra
+// simulation. A full-timing grid of the same coordinates must NOT
+// share those entries: its estimate-free rows are distinct identities.
+func TestSampledGridDedup(t *testing.T) {
+	g := sweep.Grid{
+		Workloads:      []string{"PI"},
+		Seeds:          []uint64{1, 2},
+		SampleWindow:   10_007,
+		SamplePeriod:   50_021,
+		SampleWarmup:   20_011,
+		SampleFuncWarm: true,
+	}
+	wantJSON, wantCSV := batchOutputs(t, []sweep.Grid{g})
+
+	srv := NewServer(NewMemStore())
+	srv.RetryMS = 5
+	_, base := startServer(t, srv)
+	stop := startWorkers(t, base, 2)
+
+	c := &Client{Server: base}
+	recs, err := c.Collect(context.Background(), g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var j, cv bytes.Buffer
+	if err := sweep.WriteRecordsJSON(&j, recs); err != nil {
+		t.Fatal(err)
+	}
+	if err := sweep.WriteRecordsCSV(&cv, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j.Bytes(), wantJSON[0]) {
+		t.Errorf("streamed sampled JSON differs from batch output\n%s", firstDiff(j.Bytes(), wantJSON[0]))
+	}
+	if !bytes.Equal(cv.Bytes(), wantCSV[0]) {
+		t.Errorf("streamed sampled CSV differs from batch output\n%s", firstDiff(cv.Bytes(), wantCSV[0]))
+	}
+	stop() // no workers from here on
+
+	jr, err := c.Submit(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Cached != 2 || jr.Runs != 0 {
+		t.Errorf("sampled resubmit scheduled work: cached %d, runs %d; want 2, 0", jr.Cached, jr.Runs)
+	}
+	recs2, err := c.Collect(context.Background(), g, nil)
+	if err != nil {
+		t.Fatalf("sampled resubmit with no workers: %v", err)
+	}
+	var j2 bytes.Buffer
+	if err := sweep.WriteRecordsJSON(&j2, recs2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j2.Bytes(), wantJSON[0]) {
+		t.Errorf("store-served sampled records differ\n%s", firstDiff(j2.Bytes(), wantJSON[0]))
+	}
+
+	// Same coordinates, sampling off: a different identity that must
+	// schedule fresh runs rather than reuse the sampled entries.
+	full := g
+	full.SampleWindow, full.SamplePeriod, full.SampleWarmup, full.SampleFuncWarm = 0, 0, 0, false
+	full.MaxInstrs = 50_000 // keep the workerless check cheap: never runs
+	jrFull, err := c.Submit(context.Background(), full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jrFull.Cached != 0 || jrFull.Runs != 2 {
+		t.Errorf("full grid reused sampled entries: cached %d, runs %d; want 0, 2", jrFull.Cached, jrFull.Runs)
+	}
+}

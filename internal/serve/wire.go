@@ -25,6 +25,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/emu"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/sweep"
 )
@@ -216,6 +217,10 @@ type PointResult struct {
 	Timing   pipeline.Metrics `json:"timing"`
 	PBS      core.Stats       `json:"pbs"`
 	Outputs  []uint64         `json:"outputs,omitempty"`
+	// Sampled carries the SMARTS estimate of a sampled-timing point
+	// (nil for full-timing runs), so streamed rows reproduce the CI
+	// columns an in-process sweep would emit.
+	Sampled *sample.Estimate `json:"sampled,omitempty"`
 }
 
 // wireResult flattens a sim.Result for the wire.
@@ -226,6 +231,7 @@ func wireResult(r *sim.Result) *PointResult {
 		Timing:   r.Timing,
 		PBS:      r.PBSStats,
 		Outputs:  r.Outputs,
+		Sampled:  r.Sampled,
 	}
 }
 
@@ -240,5 +246,6 @@ func (pr *PointResult) simResult() *sim.Result {
 		Timing:   pr.Timing,
 		PBSStats: pr.PBS,
 		Outputs:  pr.Outputs,
+		Sampled:  pr.Sampled,
 	}
 }

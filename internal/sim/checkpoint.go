@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -100,6 +101,24 @@ func (s *Session) Checkpoint() (*Checkpoint, error) {
 	sw := enc.Section(secSession)
 	sw.Uint(s.Instructions())
 	writeMetrics(sw, s.lastDirect)
+	if s.sampler != nil {
+		// The sampler's schedule position is implied by the instruction
+		// count; what must survive is the window populations, the phase
+		// accounting, the open window's delta baseline, and the pipeline's
+		// warming flag. Trace-pause state is NOT serialized: the next
+		// advance's schedule reconcile re-pauses or resumes as the phase
+		// dictates before any instruction retires.
+		sp := s.sampler
+		sw.Floats(sp.cpis)
+		sw.Floats(sp.mpkis)
+		sw.Uint(sp.instrFF)
+		sw.Uint(sp.instrWarm)
+		sw.Uint(sp.instrMeas)
+		sw.Bool(sp.open)
+		sw.Uint(sp.winEnd)
+		writePipeMetrics(sw, s.pipe.WindowBase())
+		sw.Bool(s.pipe.Warming())
+	}
 	data, err := enc.Encode()
 	if err != nil {
 		return nil, fmt.Errorf("sim: checkpoint: %w", err)
@@ -228,6 +247,26 @@ func Resume(c *Checkpoint, opts ...Option) (*Session, error) {
 		return nil, fmt.Errorf("sim: resume: %w", err)
 	}
 	s.lastDirect = last
+	if c.cfg.Sample != nil {
+		// Gate on the embedded (pre-option) config — that is what
+		// Checkpoint wrote. Options cannot clear Sample, so the resumed
+		// session always has a sampler to restore into; a checkpoint
+		// WITHOUT sampler state resumed WITH WithSampledTiming simply
+		// starts the sampler fresh at the checkpoint position.
+		sp := s.sampler
+		sp.cpis = sr.Floats()
+		sp.mpkis = sr.Floats()
+		sp.instrFF = sr.Uint()
+		sp.instrWarm = sr.Uint()
+		sp.instrMeas = sr.Uint()
+		sp.open = sr.Bool()
+		sp.winEnd = sr.Uint()
+		s.pipe.SetWindowBase(readPipeMetrics(sr))
+		s.pipe.SetWarming(sr.Bool())
+		if err := sr.Err(); err != nil {
+			return nil, fmt.Errorf("sim: resume: sampler state: %w", err)
+		}
+	}
 	return s, nil
 }
 
@@ -263,6 +302,14 @@ func writeConfig(w *ckpt.Writer, cfg Config, progHash uint64) {
 	w.Uint(cfg.MaxInstrs)
 	w.Int(int64(cfg.Variant))
 	w.Bool(cfg.SkipTiming)
+	w.Bool(cfg.Sample != nil)
+	if cfg.Sample != nil {
+		w.Uint(cfg.Sample.Window)
+		w.Uint(cfg.Sample.Period)
+		w.Uint(cfg.Sample.Warmup)
+		w.Uint(cfg.Sample.Offset)
+		w.Bool(cfg.Sample.FuncWarm)
+	}
 	w.U64(progHash)
 }
 
@@ -296,6 +343,15 @@ func readConfig(r *ckpt.Reader) (Config, uint64, error) {
 	cfg.MaxInstrs = r.Uint()
 	cfg.Variant = workloads.Variant(r.Int())
 	cfg.SkipTiming = r.Bool()
+	if r.Bool() {
+		cfg.Sample = &sample.Config{
+			Window:   r.Uint(),
+			Period:   r.Uint(),
+			Warmup:   r.Uint(),
+			Offset:   r.Uint(),
+			FuncWarm: r.Bool(),
+		}
+	}
 	hash := r.U64()
 	return cfg, hash, r.Err()
 }
@@ -429,6 +485,49 @@ func readMetrics(r *ckpt.Reader) (Metrics, error) {
 	m.PBSContextClears = r.Uint()
 	m.PBSMaxLiveBranches = int(r.Int())
 	return m, r.Err()
+}
+
+// writePipeMetrics serializes a raw pipeline.Metrics (the open sampled
+// window's delta baseline). Kept out of the pipeline section so a
+// non-sampled checkpoint's bytes are unchanged from earlier versions.
+func writePipeMetrics(w *ckpt.Writer, m pipeline.Metrics) {
+	w.Uint(m.Instructions)
+	w.Uint(m.Cycles)
+	w.Uint(m.Branches)
+	w.Uint(m.CondBranches)
+	w.Uint(m.ProbBranches)
+	w.Uint(m.ProbSteered)
+	w.Uint(m.ProbBoot)
+	w.Uint(m.ProbRegular)
+	w.Uint(m.Mispredicts)
+	w.Uint(m.MispredictsProb)
+	w.Uint(m.MispredictsReg)
+	w.Uint(m.L1IMisses)
+	w.Uint(m.L1DMisses)
+	w.Uint(m.L2Misses)
+	w.Uint(m.L1IAccesses)
+	w.Uint(m.L1DAccesses)
+}
+
+func readPipeMetrics(r *ckpt.Reader) pipeline.Metrics {
+	var m pipeline.Metrics
+	m.Instructions = r.Uint()
+	m.Cycles = r.Uint()
+	m.Branches = r.Uint()
+	m.CondBranches = r.Uint()
+	m.ProbBranches = r.Uint()
+	m.ProbSteered = r.Uint()
+	m.ProbBoot = r.Uint()
+	m.ProbRegular = r.Uint()
+	m.Mispredicts = r.Uint()
+	m.MispredictsProb = r.Uint()
+	m.MispredictsReg = r.Uint()
+	m.L1IMisses = r.Uint()
+	m.L1DMisses = r.Uint()
+	m.L2Misses = r.Uint()
+	m.L1IAccesses = r.Uint()
+	m.L1DAccesses = r.Uint()
+	return m
 }
 
 // programHash is a stable FNV-64a content hash over everything that

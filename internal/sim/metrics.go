@@ -57,6 +57,28 @@ type Metrics struct {
 	// PBSMaxLiveBranches is a high-water mark, not a counter: Delta
 	// carries the current value through unchanged.
 	PBSMaxLiveBranches int
+
+	// Sampled is the sampled-timing estimate so far (zero on full-timing
+	// runs). Like PBSMaxLiveBranches it is a derived state, not a
+	// counter: Delta carries the current value through unchanged, so
+	// observers watch the estimate converge as windows accumulate.
+	Sampled SampledTiming
+}
+
+// SampledTiming is the SMARTS estimate embedded in Metrics when the
+// session runs with WithSampledTiming: the window-population mean and
+// 95% CI half-width for IPC and MPKI, plus the phase breakdown. Windows
+// counts closed measurement windows; the CI half-widths are zero until
+// two windows exist.
+type SampledTiming struct {
+	Windows             int
+	EstIPC              float64
+	EstMPKI             float64
+	IPCHalfWidth        float64
+	MPKIHalfWidth       float64
+	InstrsMeasured      uint64
+	InstrsWarmed        uint64
+	InstrsFastForwarded uint64
 }
 
 // merge builds the unified view from the three component structs.
@@ -102,9 +124,10 @@ func mergeMetrics(e emu.Stats, t pipeline.Metrics, p core.Stats) Metrics {
 
 // Delta returns the change from prev to m: every counter is m's value
 // minus prev's. prev must be an earlier sample of the same machine, so
-// counters never decrease. PBSMaxLiveBranches, a high-water mark, is
-// passed through at m's value. Interval rates fall out directly: the IPC
-// over an interval is total.Delta(prev).IPC().
+// counters never decrease. PBSMaxLiveBranches (a high-water mark) and
+// Sampled (a derived estimate) are passed through at m's value. Interval
+// rates fall out directly: the IPC over an interval is
+// total.Delta(prev).IPC().
 func (m Metrics) Delta(prev Metrics) Metrics {
 	d := m
 	d.Instructions -= prev.Instructions

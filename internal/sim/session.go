@@ -165,6 +165,8 @@ type Session struct {
 	ring    *trace.Ring // nil: synchronous timing (or no timing at all)
 	serving bool        // a consumer goroutine is live (advance is on the stack)
 
+	sampler *sampler // nil: full timing (see WithSampledTiming)
+
 	observers  []*observer
 	lastDirect Metrics // previous Snapshot() sample, for its Delta
 	err        error   // first run error; the session is dead once set
@@ -185,6 +187,9 @@ func New(workload string, opts ...Option) (*Session, error) {
 // newSession wires emulator, PBS unit, predictor and pipeline exactly as
 // the original one-shot Run did; Run is now a thin wrapper over it.
 func newSession(cfg Config) (*Session, error) {
+	if err := validateSample(cfg); err != nil {
+		return nil, err
+	}
 	prog := cfg.Program
 	if prog == nil {
 		var err error
@@ -266,6 +271,13 @@ func newSession(cfg Config) (*Session, error) {
 			s.ring = trace.New(batches)
 			cpu.SetTraceRing(s.ring)
 		}
+		if cfg.Sample != nil {
+			sp, err := newSampler(*cfg.Sample)
+			if err != nil {
+				return nil, err
+			}
+			s.sampler = sp
+		}
 	}
 	return s, nil
 }
@@ -329,7 +341,11 @@ func (s *Session) collect() Metrics {
 	if s.unit != nil {
 		p = s.unit.Stats()
 	}
-	return mergeMetrics(s.cpu.Stats(), t, p)
+	m := mergeMetrics(s.cpu.Stats(), t, p)
+	if s.sampler != nil {
+		m.Sampled = s.sampler.snapshot()
+	}
+	return m
 }
 
 // Snapshot returns the cumulative metrics plus the delta since the
@@ -412,8 +428,25 @@ func (s *Session) advance(target uint64) error {
 			}()
 		}
 	}
+	if s.sampler != nil {
+		// Reconcile once more on the way out — while the trace consumer
+		// is still live — so a window that closes exactly where the run
+		// ends (halt or budget) joins the population. Registered after
+		// the ring defers, so it runs before Stop. Idempotent with the
+		// loop-top reconcile.
+		defer func() {
+			if s.err == nil {
+				s.syncSample(s.cpu.Stats().Instructions)
+			}
+		}()
+	}
 	for !s.cpu.Halted() {
 		cur := s.cpu.Stats().Instructions
+		if s.sampler != nil {
+			// Reconcile before the limit check so a window closing exactly
+			// at the limit is recorded on this advance, not the next.
+			s.syncSample(cur)
+		}
 		if limit > 0 && cur >= limit {
 			return nil
 		}
@@ -425,6 +458,14 @@ func (s *Session) advance(target uint64) error {
 				stop = ob.next
 			}
 		}
+		if s.sampler != nil {
+			// Never cross a schedule edge inside one emulator chunk: every
+			// retired interval then belongs wholly to one phase, which keeps
+			// the accounting exact and the phase switches on-boundary.
+			if nb := s.sampler.cfg.NextBoundary(cur); stop == 0 || nb < stop {
+				stop = nb
+			}
+		}
 		if err := s.cpu.Run(stop); err != nil {
 			if s.name != "" {
 				err = fmt.Errorf("sim: %s: %w", s.name, err)
@@ -434,7 +475,11 @@ func (s *Session) advance(target uint64) error {
 			s.err = err
 			return err
 		}
+		prev := cur
 		cur = s.cpu.Stats().Instructions
+		if s.sampler != nil {
+			s.sampler.account(prev, cur-prev)
+		}
 		drained := false
 		for _, ob := range s.observers {
 			if ob.next > cur {
@@ -481,6 +526,9 @@ func (s *Session) Result() *Result {
 	}
 	if s.unit != nil {
 		res.PBSStats = s.unit.Stats()
+	}
+	if s.sampler != nil {
+		res.Sampled = s.sampler.estimate()
 	}
 	return res
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/workloads"
 )
 
@@ -82,6 +83,12 @@ type Config struct {
 	// TraceRing sizes the async trace ring in batches (0 = the
 	// internal/trace default). Ignored with SyncTiming or SkipTiming.
 	TraceRing int
+	// Sample, when non-nil, runs the timing model in SMARTS-style sampled
+	// mode: detailed timing only inside periodic warming+measurement
+	// windows, functional fast-forward between them, IPC/MPKI reported as
+	// mean + 95% CI over the window population (see internal/sample and
+	// WithSampledTiming). Incompatible with SkipTiming.
+	Sample *sample.Config
 }
 
 // Result bundles everything a run produced.
@@ -97,6 +104,29 @@ type Result struct {
 	// CaptureProb was set.
 	Generated []float64
 	Consumed  []float64
+
+	// Sampled is the SMARTS estimate of a sampled-timing run (nil on a
+	// full-timing run). Timing then holds only the detailed intervals'
+	// counters — use EffectiveIPC/EffectiveMPKI for the run's headline
+	// numbers regardless of mode.
+	Sampled *sample.Estimate
+}
+
+// EffectiveIPC returns the run's headline IPC: the sampled estimate's
+// mean when the run was sampled, the full timing model's IPC otherwise.
+func (r *Result) EffectiveIPC() float64 {
+	if r.Sampled != nil {
+		return r.Sampled.IPC.Mean
+	}
+	return r.Timing.IPC()
+}
+
+// EffectiveMPKI returns the run's headline MPKI (see EffectiveIPC).
+func (r *Result) EffectiveMPKI() float64 {
+	if r.Sampled != nil {
+		return r.Sampled.MPKI.Mean
+	}
+	return r.Timing.MPKI()
 }
 
 // BuildProgram assembles the program a Config with the given workload,

@@ -109,10 +109,13 @@ func NewAggregate(seeds []uint64, sims []*sim.Result) *Aggregate {
 		Sims:         sims,
 		Instructions: collect(func(s *sim.Result) float64 { return float64(s.Emu.Instructions) }),
 		Cycles:       collect(func(s *sim.Result) float64 { return float64(s.Timing.Cycles) }),
-		IPC:          collect(func(s *sim.Result) float64 { return s.Timing.IPC() }),
-		MPKI:         collect(func(s *sim.Result) float64 { return s.Timing.MPKI() }),
-		MPKIProb:     collect(func(s *sim.Result) float64 { return s.Timing.MPKIProb() }),
-		MPKIReg:      collect(func(s *sim.Result) float64 { return s.Timing.MPKIReg() }),
+		// Effective metrics: the sampled estimate's mean for sampled
+		// shards, the full timing ratio otherwise — so a sharded sampled
+		// study aggregates the per-seed estimates.
+		IPC:      collect((*sim.Result).EffectiveIPC),
+		MPKI:     collect((*sim.Result).EffectiveMPKI),
+		MPKIProb: collect(func(s *sim.Result) float64 { return s.Timing.MPKIProb() }),
+		MPKIReg:  collect(func(s *sim.Result) float64 { return s.Timing.MPKIReg() }),
 	}
 }
 
@@ -461,6 +464,10 @@ func (p Point) WarmPoint() (Point, bool) {
 	w.SkipTiming = true
 	w.MaxInstrs = p.WarmPrefix
 	w.WarmPrefix = 0
+	// The sampling schedule is timing-only too: the prefix runs with the
+	// timing model off, so sampled and full points of one functional
+	// group share a single warm checkpoint.
+	w.SampleWindow, w.SamplePeriod, w.SampleWarmup, w.SampleFuncWarm = 0, 0, 0, false
 	return w, true
 }
 

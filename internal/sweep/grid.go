@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"repro/internal/pipeline"
+	"repro/internal/sample"
 	"repro/internal/sim"
 	"repro/internal/workloads"
 )
@@ -62,6 +63,22 @@ type Grid struct {
 	// of a cold run; timing metrics cover only the post-prefix suffix —
 	// the SimPoint-style measured region. 0 runs every point cold.
 	WarmPrefix uint64 `json:"warm_prefix,omitempty"`
+	// SampleWindow, SamplePeriod and SampleWarmup put every point of the
+	// grid in SMARTS-style sampled-timing mode (see sim.WithSampledTiming):
+	// per SamplePeriod retired instructions one SampleWindow-instruction
+	// window is measured in detail, preceded by SampleWarmup instructions
+	// of detailed warming, with the rest fast-forwarded on the emulator's
+	// untraced fast path. A non-zero SamplePeriod enables sampling and the
+	// triple must satisfy sample.Config.Validate; sampled points report
+	// the bounded-error IPC/MPKI estimate (mean + 95% CI) in place of
+	// full-timing metrics. Incompatible with SkipTiming.
+	SampleWindow uint64 `json:"sample_window,omitempty"`
+	SamplePeriod uint64 `json:"sample_period,omitempty"`
+	SampleWarmup uint64 `json:"sample_warmup,omitempty"`
+	// SampleFuncWarm keeps caches and predictor functionally warm across
+	// fast-forward gaps (slower, but removes staleness bias on workloads
+	// whose windows depend on long-range state; see sample.Config).
+	SampleFuncWarm bool `json:"sample_func_warm,omitempty"`
 	// Parallel bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallel int `json:"parallel,omitempty"`
 	// SyncTiming forces every point onto the synchronous timing path.
@@ -188,6 +205,27 @@ type Point struct {
 	// warm-forked run reports timing only over the post-prefix suffix, so
 	// it must never share a memo entry with a cold run of the same Key.
 	WarmPrefix uint64 `json:"warm_prefix,omitempty"`
+	// The sampling schedule (see Grid) is likewise identity: a sampled
+	// run's metrics are an estimate over measured windows, never
+	// interchangeable with a full-timing result of the same Key.
+	SampleWindow   uint64 `json:"sample_window,omitempty"`
+	SamplePeriod   uint64 `json:"sample_period,omitempty"`
+	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+	SampleFuncWarm bool   `json:"sample_func_warm,omitempty"`
+}
+
+// SampleConfig returns the point's sampling schedule and whether
+// sampled timing is enabled at all (SamplePeriod non-zero).
+func (p Point) SampleConfig() (sample.Config, bool) {
+	if p.SamplePeriod == 0 {
+		return sample.Config{}, false
+	}
+	return sample.Config{
+		Window:   p.SampleWindow,
+		Period:   p.SamplePeriod,
+		Warmup:   p.SampleWarmup,
+		FuncWarm: p.SampleFuncWarm,
+	}, true
 }
 
 func (p Point) normalize() Point {
@@ -206,8 +244,17 @@ func (p Point) normalize() Point {
 // store hashes.
 func (p Point) Canonical() string {
 	p = p.normalize()
-	return fmt.Sprintf("%s,scale=%d,skip_timing=%t,capture_prob=%t,max_instrs=%d,warm_prefix=%d",
+	c := fmt.Sprintf("%s,scale=%d,skip_timing=%t,capture_prob=%t,max_instrs=%d,warm_prefix=%d",
 		p.Key.String(), p.Scale, p.SkipTiming, p.CaptureProb, p.MaxInstrs, p.WarmPrefix)
+	if p.SamplePeriod > 0 {
+		// Appended only when sampling is on, so every pre-sampling
+		// identity (and its content address in the sweep service's store)
+		// is unchanged. A sampled point can never collide with a full
+		// point: full points never carry the suffix.
+		c += fmt.Sprintf(",sample_window=%d,sample_period=%d,sample_warmup=%d,sample_func_warm=%t",
+			p.SampleWindow, p.SamplePeriod, p.SampleWarmup, p.SampleFuncWarm)
+	}
+	return c
 }
 
 func (p Point) String() string {
@@ -224,6 +271,9 @@ func (p Point) String() string {
 	}
 	if p.WarmPrefix > 0 {
 		s += fmt.Sprintf("/warm=%d", p.WarmPrefix)
+	}
+	if p.SamplePeriod > 0 {
+		s += fmt.Sprintf("/sampled=%d@%d", p.SampleWindow, p.SamplePeriod)
 	}
 	return s
 }
@@ -261,6 +311,9 @@ func (p Point) Options() ([]sim.Option, error) {
 		// has SkipTiming on), the option must override it back on.
 		sim.WithTiming(!p.SkipTiming),
 	)
+	if sc, ok := p.SampleConfig(); ok {
+		opts = append(opts, sim.WithSampledTiming(sc))
+	}
 	switch p.Width {
 	case 4:
 		// pipeline.FourWide is the sim default.
@@ -326,6 +379,17 @@ func (g Grid) Points() ([]Point, error) {
 	if scale <= 0 {
 		scale = 1
 	}
+	if g.SamplePeriod > 0 {
+		if g.SkipTiming {
+			return nil, fmt.Errorf("sweep: sampled timing needs the timing model (incompatible with skip_timing)")
+		}
+		sc := sample.Config{Window: g.SampleWindow, Period: g.SamplePeriod, Warmup: g.SampleWarmup}
+		if err := sc.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	} else if g.SampleWindow > 0 || g.SampleWarmup > 0 || g.SampleFuncWarm {
+		return nil, fmt.Errorf("sweep: sample_window/sample_warmup/sample_func_warm need a non-zero sample_period")
+	}
 
 	var pts []Point
 	for _, name := range names {
@@ -350,12 +414,16 @@ func (g Grid) Points() ([]Point, error) {
 							}
 							add := func(k Key) {
 								pts = append(pts, Point{
-									Key:         k.normalize(),
-									Scale:       scale,
-									SkipTiming:  g.SkipTiming,
-									CaptureProb: g.CaptureProb,
-									MaxInstrs:   g.MaxInstrs,
-									WarmPrefix:  g.WarmPrefix,
+									Key:            k.normalize(),
+									Scale:          scale,
+									SkipTiming:     g.SkipTiming,
+									CaptureProb:    g.CaptureProb,
+									MaxInstrs:      g.MaxInstrs,
+									WarmPrefix:     g.WarmPrefix,
+									SampleWindow:   g.SampleWindow,
+									SamplePeriod:   g.SamplePeriod,
+									SampleWarmup:   g.SampleWarmup,
+									SampleFuncWarm: g.SampleFuncWarm,
 								})
 							}
 							if g.ShardSeeds {

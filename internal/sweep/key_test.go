@@ -56,6 +56,9 @@ func TestPointCanonical(t *testing.T) {
 		{Key: base.Key, MaxInstrs: 1000},
 		{Key: base.Key, WarmPrefix: 500},
 		{Key: base.Key, CaptureProb: true},
+		{Key: base.Key, SampleWindow: 100, SamplePeriod: 1000},
+		{Key: base.Key, SampleWindow: 100, SamplePeriod: 1000, SampleWarmup: 50},
+		{Key: base.Key, SampleWindow: 100, SamplePeriod: 1000, SampleFuncWarm: true},
 	}
 	seen := make(map[string]Point, len(variants))
 	for _, p := range variants {
@@ -80,6 +83,7 @@ func TestPointJSONRoundTrip(t *testing.T) {
 		{Key: Key{Workload: "MC-integ", Seed: 3, FilterProb: true, Variant: workloads.VariantCFD}},
 		{Key: Key{Workload: "Genetic", Seeds: MakeSeedSet([]uint64{11, 23, 37})}},
 		{Key: Key{Workload: "PI", Seed: 5}, Scale: 3, SkipTiming: true, MaxInstrs: 123456, WarmPrefix: 1000},
+		{Key: Key{Workload: "PI", Seed: 9}, SampleWindow: 10007, SamplePeriod: 50021, SampleWarmup: 20011, SampleFuncWarm: true},
 	}
 	for _, p := range pts {
 		p = p.normalize()

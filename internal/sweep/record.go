@@ -31,6 +31,14 @@ type Record struct {
 	CaptureProb bool   `json:"capture_prob,omitempty"`
 	MaxInstrs   uint64 `json:"max_instrs,omitempty"`
 	WarmPrefix  uint64 `json:"warm_prefix,omitempty"`
+	// The sampling schedule marks a sampled-timing row: its IPC/MPKI are
+	// the SMARTS estimate over SampleWindows measured windows (with the
+	// 95% CI in the CI columns), not a full-timing measurement.
+	SampleWindow   uint64 `json:"sample_window,omitempty"`
+	SamplePeriod   uint64 `json:"sample_period,omitempty"`
+	SampleWarmup   uint64 `json:"sample_warmup,omitempty"`
+	SampleFuncWarm bool   `json:"sample_func_warm,omitempty"`
+	SampleWindows  int    `json:"sample_windows,omitempty"`
 
 	Instructions uint64  `json:"instructions"`
 	Cycles       uint64  `json:"cycles,omitempty"`
@@ -57,7 +65,9 @@ type Record struct {
 	// the canonical seed list, integer counters hold means rounded to the
 	// nearest integer, float metrics hold exact means, and the CI fields
 	// carry the 95% Student-t interval across seeds. Per-seed rows of the
-	// same point precede their aggregate row in Records order.
+	// same point precede their aggregate row in Records order. On a
+	// sampled single-seed row the same CI fields carry the SMARTS
+	// estimate's 95% interval across measured windows instead.
 	Aggregate bool    `json:"aggregate,omitempty"`
 	SeedSet   string  `json:"seed_set,omitempty"`
 	IPCCILo   float64 `json:"ipc_ci_lo,omitempty"`
@@ -111,6 +121,11 @@ func pointRecord(p Point) Record {
 		CaptureProb: p.CaptureProb,
 		MaxInstrs:   p.MaxInstrs,
 		WarmPrefix:  p.WarmPrefix,
+
+		SampleWindow:   p.SampleWindow,
+		SamplePeriod:   p.SamplePeriod,
+		SampleWarmup:   p.SampleWarmup,
+		SampleFuncWarm: p.SampleFuncWarm,
 	}
 }
 
@@ -172,6 +187,18 @@ func simRecord(p Point, res *sim.Result) Record {
 	rec.MPKI = m.MPKI()
 	rec.MPKIProb = m.MPKIProb()
 	rec.MPKIReg = m.MPKIReg()
+	if e := res.Sampled; e != nil {
+		// A sampled row's headline IPC/MPKI are the estimate; the raw
+		// counters above still describe the detailed intervals actually
+		// simulated. The CI columns carry the windows' 95% interval.
+		rec.IPC = e.IPC.Mean
+		rec.MPKI = e.MPKI.Mean
+		rec.SampleWindows = e.Windows
+		rec.IPCCILo = e.IPC.CI.Lo
+		rec.IPCCIHi = e.IPC.CI.Hi
+		rec.MPKICILo = e.MPKI.CI.Lo
+		rec.MPKICIHi = e.MPKI.CI.Hi
+	}
 	rec.ProbSteered = m.ProbSteered
 	rec.ProbBoot = m.ProbBoot
 	rec.ProbRegular = m.ProbRegular
@@ -221,6 +248,7 @@ var csvColumns = []string{
 	"pbs_allocations", "pbs_context_clears", "pbs_const_violations", "pbs_capacity_misses",
 	"outputs",
 	"aggregate", "seed_set", "ipc_ci_lo", "ipc_ci_hi", "mpki_ci_lo", "mpki_ci_hi",
+	"sample_window", "sample_period", "sample_warmup", "sample_func_warm", "sample_windows",
 }
 
 // WriteCSV writes the results as CSV with a header row.
@@ -253,6 +281,8 @@ func WriteRecordsCSV(w io.Writer, recs []Record) error {
 			strconv.Itoa(rec.Outputs),
 			strconv.FormatBool(rec.Aggregate), rec.SeedSet,
 			f(rec.IPCCILo), f(rec.IPCCIHi), f(rec.MPKICILo), f(rec.MPKICIHi),
+			u(rec.SampleWindow), u(rec.SamplePeriod), u(rec.SampleWarmup),
+			strconv.FormatBool(rec.SampleFuncWarm), strconv.Itoa(rec.SampleWindows),
 		}
 		if len(row) != len(csvColumns) {
 			return fmt.Errorf("sweep: csv row has %d fields, header has %d", len(row), len(csvColumns))
